@@ -1,0 +1,152 @@
+// Command benchreport regenerates the paper's tables and figures on the
+// synthetic reproduction pipelines.
+//
+// Usage:
+//
+//	benchreport [-scale tiny|small|full] [-seed N] [-workers N]
+//	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
+//	            [-bench nmnist,ibm-gesture,shd] [-v]
+//
+// With no artifact flags, -all is implied. Tables I–III run on every
+// selected benchmark; Table IV and the figures follow the paper's choices
+// (Table IV on NMNIST, Figs. 7–9 on the IBM model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/repro/snntest/internal/core"
+	"github.com/repro/snntest/internal/experiments"
+	"github.com/repro/snntest/internal/snn"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
+		seed      = flag.Int64("seed", 1, "random seed for every stochastic component")
+		workers   = flag.Int("workers", 0, "fault-campaign workers (0 = GOMAXPROCS)")
+		table     = flag.Int("table", 0, "render one table (1-4)")
+		fig       = flag.Int("fig", 0, "render one figure (7-9)")
+		ablations = flag.Bool("ablations", false, "run the ablation study")
+		all       = flag.Bool("all", false, "render every table, figure and ablation")
+		benchList = flag.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
+		verbose   = flag.Bool("v", false, "log pipeline progress")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *table == 0 && *fig == 0 && !*ablations {
+		*all = true
+	}
+
+	opts := experiments.ScaledOptions(scale, *seed)
+	opts.Workers = *workers
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	var pipes []*experiments.Pipeline
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := experiments.NewPipeline(name, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: built and trained (%v, accuracy %.1f%%)\n",
+			name, p.TrainTime.Round(1e6), 100*p.Accuracy)
+		pipes = append(pipes, p)
+	}
+	if len(pipes) == 0 {
+		fatal(fmt.Errorf("no benchmarks selected"))
+	}
+	out := os.Stdout
+
+	if *all || *table == 1 {
+		rows := make([]experiments.Table1Row, len(pipes))
+		for i, p := range pipes {
+			rows[i] = experiments.Table1(p)
+		}
+		experiments.RenderTable1(out, rows)
+	}
+	if *all || *table == 2 {
+		rows := make([]experiments.Table2Row, len(pipes))
+		for i, p := range pipes {
+			rows[i] = experiments.Table2(p)
+		}
+		experiments.RenderTable2(out, rows)
+	}
+	if *all || *table == 3 {
+		rows := make([]experiments.Table3Row, len(pipes))
+		for i, p := range pipes {
+			rows[i] = experiments.Table3(p)
+		}
+		experiments.RenderTable3(out, rows)
+	}
+	if *all || *table == 4 {
+		experiments.RenderTable4(out, experiments.Table4(pickPipe(pipes, "nmnist")))
+	}
+	if *all || *fig == 7 {
+		experiments.Fig7(out, pickPipe(pipes, "ibm-gesture"), 4)
+	}
+	if *all || *fig == 8 {
+		p := pickPipe(pipes, "ibm-gesture")
+		experiments.RenderFig8(out, p, experiments.Fig8(p))
+	}
+	if *all || *fig == 9 {
+		p := pickPipe(pipes, "ibm-gesture")
+		experiments.RenderFig9(out, p, experiments.Fig9(p), 10)
+	}
+	if *all || *ablations {
+		runAblations(out, pickPipe(pipes, "shd"))
+	}
+}
+
+// pickPipe returns the pipeline for the preferred benchmark, falling back
+// to the first one built.
+func pickPipe(pipes []*experiments.Pipeline, prefer string) *experiments.Pipeline {
+	for _, p := range pipes {
+		if p.Benchmark == prefer {
+			return p
+		}
+	}
+	return pipes[0]
+}
+
+// runAblations executes the DESIGN.md §5 ablation suite.
+func runAblations(w io.Writer, p *experiments.Pipeline) {
+	rows := []experiments.AblationResult{
+		experiments.Ablate(p, "no-stage2", func(c *core.Config) { c.DisableStage2 = true }),
+		experiments.Ablate(p, "no-L3", func(c *core.Config) { c.DisableL3 = true }),
+		experiments.Ablate(p, "no-L4", func(c *core.Config) { c.DisableL4 = true }),
+		experiments.Ablate(p, "plain-sigmoid", func(c *core.Config) { c.PlainSigmoid = true }),
+	}
+	experiments.RenderAblations(w, rows)
+}
+
+func parseScale(s string) (snn.ModelScale, error) {
+	switch s {
+	case "tiny":
+		return snn.ScaleTiny, nil
+	case "small":
+		return snn.ScaleSmall, nil
+	case "full":
+		return snn.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

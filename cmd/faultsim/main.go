@@ -1,0 +1,128 @@
+// Command faultsim runs a standalone fault-simulation campaign on one
+// benchmark model: it enumerates the fault universe, labels each fault
+// critical or benign against the test split (the Table II campaign), and
+// reports the per-class counts and wall-clock cost.
+//
+// Usage:
+//
+//	faultsim -bench shd [-scale tiny|small|full] [-stride N]
+//	         [-weights file.gob] [-extended] [-workers N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/repro/snntest/internal/dataset"
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/train"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "shd", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
+		stride    = flag.Int("stride", 1, "fault universe subsampling stride (1 = exhaustive)")
+		weights   = flag.String("weights", "", "load trained weights instead of training in-process")
+		extended  = flag.Bool("extended", false, "include timing-variation and bit-flip faults")
+		workers   = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+		epochs    = flag.Int("epochs", 4, "in-process training epochs when -weights is absent")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var net *snn.Network
+	switch *bench {
+	case "nmnist":
+		net = snn.BuildNMNIST(rng, scale)
+	case "ibm-gesture":
+		net = snn.BuildIBMGesture(rng, scale)
+	case "shd":
+		net = snn.BuildSHD(rng, scale)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+
+	ds := dataset.ForBenchmark(net, dataset.Config{
+		TrainPerClass: 4, TestPerClass: 2,
+		Steps: snn.SampleSteps(*bench, scale), Seed: *seed + 1,
+	})
+	if *weights != "" {
+		if err := net.LoadWeightsFile(*weights); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded weights from %s\n", *weights)
+	} else {
+		trainIn, trainLab := ds.Inputs("train")
+		if _, err := train.Train(net, trainIn, trainLab, train.Config{
+			Epochs: *epochs, LR: 0.03, Seed: *seed + 2,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := fault.DefaultOptions()
+	if *extended {
+		opts = fault.ExtendedOptions()
+	}
+	faults := fault.SampleUniverse(net, opts, *stride)
+	fmt.Printf("%s (%s): %d neurons, %d synapses; universe %d faults (stride %d → %d simulated)\n",
+		net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses(),
+		fault.UniverseSize(net, opts), *stride, len(faults))
+
+	testIn, _ := ds.Inputs("test")
+	start := time.Now()
+	critical := fault.Classify(net, faults, testIn, *workers, func(done int) {
+		fmt.Fprintf(os.Stderr, "\rclassified %d/%d", done, len(faults))
+	})
+	fmt.Fprintln(os.Stderr)
+	elapsed := time.Since(start)
+
+	var cn, bn, cs, bs int
+	for i, f := range faults {
+		switch {
+		case f.Kind.IsNeuron() && critical[i]:
+			cn++
+		case f.Kind.IsNeuron():
+			bn++
+		case critical[i]:
+			cs++
+		default:
+			bs++
+		}
+	}
+	fmt.Printf("\nFault simulation results (%d samples, %d steps each):\n", len(testIn), ds.SampleSteps)
+	fmt.Printf("  critical neuron faults:  %d\n", cn)
+	fmt.Printf("  benign neuron faults:    %d\n", bn)
+	fmt.Printf("  critical synapse faults: %d\n", cs)
+	fmt.Printf("  benign synapse faults:   %d\n", bs)
+	fmt.Printf("  campaign time:           %v (%.2f ms/fault)\n",
+		elapsed.Round(time.Millisecond), float64(elapsed.Milliseconds())/float64(len(faults)))
+}
+
+func parseScale(s string) (snn.ModelScale, error) {
+	switch s {
+	case "tiny":
+		return snn.ScaleTiny, nil
+	case "small":
+		return snn.ScaleSmall, nil
+	case "full":
+		return snn.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command snntestgen is the end-to-end tool of the reproduction: it
+// builds and trains a benchmark SNN (or loads trained weights), runs the
+// paper's test-generation algorithm, and verifies the resulting stimulus
+// with a single fault-simulation campaign, printing the Table III
+// efficiency metrics.
+//
+// Usage:
+//
+//	snntestgen -bench nmnist [-scale tiny|small|full] [-seed N]
+//	           [-weights file.gob] [-steps1 N] [-max-iter N]
+//	           [-stride N] [-workers N] [-save-stimulus file.gob]
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/repro/snntest/internal/core"
+	"github.com/repro/snntest/internal/dataset"
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/metrics"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+	"github.com/repro/snntest/internal/train"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
+		seed      = flag.Int64("seed", 1, "random seed")
+		weights   = flag.String("weights", "", "load trained weights instead of training in-process")
+		steps1    = flag.Int("steps1", 0, "stage-1 optimization steps (0 = scale default)")
+		maxIter   = flag.Int("max-iter", 0, "maximum generated chunks (0 = scale default)")
+		stride    = flag.Int("stride", 1, "fault universe stride for verification")
+		workers   = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+		save      = flag.String("save-stimulus", "", "write the stimulus tensor to this file (gob)")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var net *snn.Network
+	switch *bench {
+	case "nmnist":
+		net = snn.BuildNMNIST(rng, scale)
+	case "ibm-gesture":
+		net = snn.BuildIBMGesture(rng, scale)
+	case "shd":
+		net = snn.BuildSHD(rng, scale)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+
+	sampleSteps := snn.SampleSteps(*bench, scale)
+	ds := dataset.ForBenchmark(net, dataset.Config{
+		TrainPerClass: 4, TestPerClass: 2, Steps: sampleSteps, Seed: *seed + 1,
+	})
+	if *weights != "" {
+		if err := net.LoadWeightsFile(*weights); err != nil {
+			fatal(err)
+		}
+	} else {
+		trainIn, trainLab := ds.Inputs("train")
+		fmt.Fprintln(os.Stderr, "training model…")
+		if _, err := train.Train(net, trainIn, trainLab, train.Config{
+			Epochs: 4, LR: 0.03, Seed: *seed + 2,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	if scale != snn.ScaleFull {
+		cfg = core.TestConfig()
+		cfg.Steps1 = 100
+	}
+	cfg.Seed = *seed + 3
+	cfg.Log = os.Stderr
+	if *steps1 > 0 {
+		cfg.Steps1 = *steps1
+	}
+	if *maxIter > 0 {
+		cfg.MaxIterations = *maxIter
+	}
+
+	fmt.Fprintln(os.Stderr, "generating test stimulus…")
+	res := core.Generate(net, cfg)
+	fmt.Printf("test generation runtime: %v\n", res.Runtime.Round(time.Millisecond))
+	fmt.Printf("T_in,min: %d steps; chunks: %d\n", res.TInMin, len(res.Chunks))
+	fmt.Printf("test duration: %d steps = %.2f samples = %.3f s\n",
+		res.TotalSteps(), res.DurationSamples(sampleSteps),
+		metrics.DurationSeconds(net, res.TotalSteps()))
+	fmt.Printf("activated neurons: %.2f%%\n", 100*res.ActivatedFraction)
+
+	faults := fault.SampleUniverse(net, fault.DefaultOptions(), *stride)
+	fmt.Fprintf(os.Stderr, "verifying against %d faults…\n", len(faults))
+	testIn, _ := ds.Inputs("test")
+	critical := fault.Classify(net, faults, testIn, *workers, nil)
+	sim := fault.Simulate(net, faults, res.Stimulus, *workers, nil)
+	cov := fault.Compute(faults, sim.Detected, critical)
+	fmt.Printf("verification campaign: %v for %d faults\n", sim.Elapsed.Round(time.Millisecond), len(faults))
+	fmt.Printf("FC critical neuron faults:  %.2f%%\n", 100*cov.CriticalNeuron.FC())
+	fmt.Printf("FC critical synapse faults: %.2f%%\n", 100*cov.CriticalSynapse.FC())
+	fmt.Printf("FC benign neuron faults:    %.2f%%\n", 100*cov.BenignNeuron.FC())
+	fmt.Printf("FC benign synapse faults:   %.2f%%\n", 100*cov.BenignSynapse.FC())
+
+	if *save != "" {
+		if err := saveStimulus(*save, res.Stimulus); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stimulus written to %s\n", *save)
+	}
+}
+
+// stimulusFile is the on-disk representation of a test stimulus.
+type stimulusFile struct {
+	Shape []int
+	Data  []float64
+}
+
+func saveStimulus(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(stimulusFile{Shape: t.Shape(), Data: t.Data()}); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func parseScale(s string) (snn.ModelScale, error) {
+	switch s {
+	case "tiny":
+		return snn.ScaleTiny, nil
+	case "small":
+		return snn.ScaleSmall, nil
+	case "full":
+		return snn.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snntestgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command snntrain trains one benchmark SNN on its synthetic dataset
+// with surrogate-gradient BPTT and optionally saves the weights.
+//
+// Usage:
+//
+//	snntrain -bench nmnist [-scale tiny|small|full] [-epochs N] [-lr F]
+//	         [-seed N] [-out weights.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/repro/snntest/internal/dataset"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/train"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
+		epochs    = flag.Int("epochs", 5, "training epochs")
+		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
+		perClass  = flag.Int("per-class", 6, "training samples per class")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "write trained weights to this file (gob)")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var net *snn.Network
+	switch *bench {
+	case "nmnist":
+		net = snn.BuildNMNIST(rng, scale)
+	case "ibm-gesture":
+		net = snn.BuildIBMGesture(rng, scale)
+	case "shd":
+		net = snn.BuildSHD(rng, scale)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	fmt.Printf("%s (%s): %d neurons, %d synapses\n", net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses())
+
+	ds := dataset.ForBenchmark(net, dataset.Config{
+		TrainPerClass: *perClass,
+		TestPerClass:  max(1, *perClass/2),
+		Steps:         snn.SampleSteps(*bench, scale),
+		Seed:          *seed + 1,
+	})
+	trainIn, trainLab := ds.Inputs("train")
+	testIn, testLab := ds.Inputs("test")
+
+	_, err = train.Train(net, trainIn, trainLab, train.Config{
+		Epochs: *epochs, LR: *lr, Seed: *seed + 2, Log: os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("test accuracy: %.2f%%\n", 100*train.Evaluate(net, testIn, testLab))
+
+	if *out != "" {
+		if err := net.SaveWeightsFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weights written to %s\n", *out)
+	}
+}
+
+func parseScale(s string) (snn.ModelScale, error) {
+	switch s {
+	case "tiny":
+		return snn.ScaleTiny, nil
+	case "small":
+		return snn.ScaleSmall, nil
+	case "full":
+		return snn.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snntrain:", err)
+	os.Exit(1)
+}

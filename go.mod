@@ -1,0 +1,3 @@
+module github.com/repro/snntest
+
+go 1.22

@@ -1,0 +1,53 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func BenchmarkBackwardChain(b *testing.B) {
+	x := Leaf(tensor.RandNormal(rand.New(rand.NewSource(1)), 0, 1, 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := x
+		for d := 0; d < 50; d++ {
+			n = Relu(AddScalar(Mul(n, n), 0.1))
+		}
+		x.ZeroGrad()
+		Backward(Sum(n))
+	}
+}
+
+func BenchmarkSpikeSurrogate(b *testing.B) {
+	u := Leaf(tensor.RandNormal(rand.New(rand.NewSource(2)), 1, 0.5, 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.ZeroGrad()
+		Backward(Sum(Spike(u, 1.0, SurrogateScale)))
+	}
+}
+
+func BenchmarkGumbelSigmoidSTE(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	logits := Leaf(tensor.RandNormal(rng, 0, 1, 4096))
+	noise := tensor.New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LogisticNoise(noise, rng.Float64)
+		logits.ZeroGrad()
+		Backward(Sum(STE(GumbelSigmoid(logits, noise, 0.5), 0.5)))
+	}
+}
+
+func BenchmarkMaskedRowVariance(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	w := tensor.RandNormal(rng, 0, 1, 128, 128)
+	x := Leaf(tensor.RandNormal(rng, 0, 1, 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		Backward(Sum(MaskedRowVariance(w, x)))
+	}
+}

@@ -1,0 +1,135 @@
+// Package autograd implements a small tape-based reverse-mode automatic
+// differentiation engine over tensor.Tensor values.
+//
+// It exists to support two gradient consumers in this repository:
+//
+//   - training spiking networks with surrogate-gradient backpropagation
+//     through time (gradients with respect to layer weights), and
+//   - the paper's test-generation algorithm, which optimizes the binary
+//     network *input* through a Gumbel-Softmax relaxation and a
+//     straight-through estimator (gradients with respect to the input).
+//
+// Graphs are built eagerly: every operation returns a new Node that records
+// its parents and a closure that propagates the upstream gradient.
+// Backward performs a topological sort from the root and runs the closures
+// in reverse order. Leaves created with Leaf accumulate gradients in
+// Grad; constants created with Const do not participate in backprop.
+package autograd
+
+import (
+	"fmt"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Node is one vertex of the computation graph. Value is the forward result;
+// Grad accumulates ∂root/∂Value during Backward for nodes that require
+// gradients.
+type Node struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Node
+	backward     func() // propagates n.Grad into parents' Grad
+}
+
+// Leaf wraps t as a differentiable graph input. Backward accumulates into
+// its Grad field; the caller owns zeroing it between steps (ZeroGrad).
+func Leaf(t *tensor.Tensor) *Node {
+	return &Node{
+		Value:        t,
+		Grad:         tensor.New(t.Shape()...),
+		requiresGrad: true,
+	}
+}
+
+// Const wraps t as a non-differentiable constant. No gradient is
+// accumulated for it and graph traversal stops there.
+func Const(t *tensor.Tensor) *Node {
+	return &Node{Value: t}
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// ZeroGrad clears the accumulated gradient of a leaf (or any grad-bearing
+// node).
+func (n *Node) ZeroGrad() {
+	if n.Grad != nil {
+		n.Grad.Zero()
+	}
+}
+
+// newOp builds an interior node whose gradient requirement is inherited
+// from its parents.
+func newOp(value *tensor.Tensor, back func(out *Node), parents ...*Node) *Node {
+	n := &Node{Value: value, parents: parents}
+	for _, p := range parents {
+		if p != nil && p.requiresGrad {
+			n.requiresGrad = true
+			break
+		}
+	}
+	if n.requiresGrad {
+		n.Grad = tensor.New(value.Shape()...)
+		n.backward = func() { back(n) }
+	}
+	return n
+}
+
+// accumulate adds g into p.Grad if p participates in backprop.
+func accumulate(p *Node, g *tensor.Tensor) {
+	if p == nil || !p.requiresGrad {
+		return
+	}
+	tensor.AddInPlace(p.Grad, g)
+}
+
+// Backward runs reverse-mode differentiation from root, which must be a
+// scalar (single-element) node. After it returns, every reachable
+// gradient-requiring node holds ∂root/∂node in Grad (accumulated on top of
+// whatever was already there, so call ZeroGrad on leaves between steps).
+func Backward(root *Node) {
+	if root.Value.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward root must be scalar, got shape %v", root.Value.Shape()))
+	}
+	if !root.requiresGrad {
+		return // nothing reachable requires gradients
+	}
+	order := topoSort(root)
+	root.Grad.Fill(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].backward != nil {
+			order[i].backward()
+		}
+	}
+}
+
+// topoSort returns nodes reachable from root in topological order
+// (parents before children). Iterative DFS to survive deep BPTT graphs.
+func topoSort(root *Node) []*Node {
+	type frame struct {
+		n    *Node
+		next int
+	}
+	visited := make(map[*Node]bool)
+	var order []*Node
+	stack := []frame{{n: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(top.n.parents) {
+			p := top.n.parents[top.next]
+			top.next++
+			if p != nil && p.requiresGrad && !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{n: p})
+			}
+			continue
+		}
+		order = append(order, top.n)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}

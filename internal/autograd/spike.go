@@ -1,0 +1,163 @@
+package autograd
+
+import (
+	"math"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// SurrogateScale is the default sharpness of the fast-sigmoid surrogate
+// gradient used for the spike nonlinearity (SuperSpike-style):
+// σ'(x) = 1 / (1 + scale·|x|)².
+const SurrogateScale = 10.0
+
+// Spike applies the threshold nonlinearity of a spiking neuron: the
+// forward pass emits Heaviside(u − threshold) (a binary spike train), and
+// the backward pass substitutes the fast-sigmoid surrogate derivative
+// 1/(1+scale·|u−θ|)², the standard trick that makes BPTT through spiking
+// layers possible (as in SLAYER).
+func Spike(u *Node, threshold, scale float64) *Node {
+	v := tensor.Heaviside(u.Value, threshold)
+	return newOp(v, func(out *Node) {
+		g := tensor.New(u.Value.Shape()...)
+		ud, gd, od := u.Value.Data(), g.Data(), out.Grad.Data()
+		for i := range gd {
+			x := ud[i] - threshold
+			d := 1 + scale*math.Abs(x)
+			gd[i] = od[i] / (d * d)
+		}
+		accumulate(u, g)
+	}, u)
+}
+
+// GumbelSigmoid is the binary special case of the Gumbel-Softmax
+// (binary-concrete) relaxation used by the paper (Eq. 17) to optimize a
+// binary input with gradient descent: forward computes
+// sigmoid((logits + noise)/τ), a soft approximation of Bernoulli samples
+// that sharpens as τ→0. noise must hold pre-sampled logistic noise
+// (difference of two Gumbel variates); pass a zero tensor for the
+// deterministic relaxation. The backward pass uses the exact sigmoid
+// Jacobian s(1−s)/τ.
+func GumbelSigmoid(logits *Node, noise *tensor.Tensor, tau float64) *Node {
+	if tau <= 0 {
+		panic("autograd: GumbelSigmoid temperature must be positive")
+	}
+	v := tensor.New(logits.Value.Shape()...)
+	ld, nd, vd := logits.Value.Data(), noise.Data(), v.Data()
+	for i := range vd {
+		vd[i] = 1 / (1 + math.Exp(-(ld[i]+nd[i])/tau))
+	}
+	return newOp(v, func(out *Node) {
+		g := tensor.New(logits.Value.Shape()...)
+		gd, od := g.Data(), out.Grad.Data()
+		for i := range gd {
+			s := vd[i]
+			gd[i] = od[i] * s * (1 - s) / tau
+		}
+		accumulate(logits, g)
+	}, logits)
+}
+
+// STE is the straight-through estimator (Eq. 18): the forward pass
+// binarizes its input at the given threshold; the backward pass passes the
+// incoming gradient through unchanged, as if the op were the identity.
+func STE(a *Node, threshold float64) *Node {
+	v := tensor.Heaviside(a.Value, threshold)
+	return newOp(v, func(out *Node) {
+		accumulate(a, out.Grad)
+	}, a)
+}
+
+// LogisticNoise fills a tensor with samples of the logistic distribution
+// (the difference of two standard Gumbel variates), the noise source of
+// the binary Gumbel-Softmax reparameterization.
+func LogisticNoise(dst *tensor.Tensor, uniform func() float64) {
+	d := dst.Data()
+	for i := range d {
+		u := uniform()
+		// Clamp away from {0,1} to keep the logit finite.
+		if u < 1e-12 {
+			u = 1e-12
+		} else if u > 1-1e-12 {
+			u = 1 - 1e-12
+		}
+		d[i] = math.Log(u / (1 - u))
+	}
+}
+
+// MaskedRowVariance computes, for each row i of the constant weight matrix
+// w (out×in), the population variance over the non-zero entries j of the
+// per-synapse contributions c_ij = w_ij·x_j, where x is the (differentiable)
+// vector of presynaptic spike counts. This is the inner term of the
+// paper's loss L4 (Eq. 13): uniform synapse contributions expose weak
+// synapses whose faults would otherwise be masked by dominant ones.
+// Rows with fewer than two non-zero weights contribute variance 0.
+func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
+	rows, cols := w.Dim(0), w.Dim(1)
+	if x.Value.Len() != cols {
+		panic("autograd: MaskedRowVariance dimension mismatch")
+	}
+	v := tensor.New(rows)
+	means := make([]float64, rows)
+	counts := make([]int, rows)
+	wd, xd := w.Data(), x.Value.Data()
+	for i := 0; i < rows; i++ {
+		wrow := wd[i*cols : (i+1)*cols]
+		sum, n := 0.0, 0
+		for j, wv := range wrow {
+			if wv != 0 {
+				sum += wv * xd[j]
+				n++
+			}
+		}
+		counts[i] = n
+		if n < 2 {
+			continue
+		}
+		mean := sum / float64(n)
+		means[i] = mean
+		varSum := 0.0
+		for j, wv := range wrow {
+			if wv != 0 {
+				d := wv*xd[j] - mean
+				varSum += d * d
+			}
+		}
+		v.Data()[i] = varSum / float64(n)
+	}
+	return newOp(v, func(out *Node) {
+		// dvar_i/dx_k = (2/n_i)·m_ik·(c_ik − mean_i)·w_ik ; the mean term
+		// cancels because Σ_j m_ij (c_ij − mean_i) = 0.
+		g := tensor.New(cols)
+		gd, od := g.Data(), out.Grad.Data()
+		for i := 0; i < rows; i++ {
+			if counts[i] < 2 || od[i] == 0 {
+				continue
+			}
+			wrow := wd[i*cols : (i+1)*cols]
+			scale := 2 * od[i] / float64(counts[i])
+			for k, wv := range wrow {
+				if wv != 0 {
+					gd[k] += scale * (wv*xd[k] - means[i]) * wv
+				}
+			}
+		}
+		accumulate(x, g)
+	}, x)
+}
+
+// SoftmaxCrossEntropy returns the scalar cross-entropy between
+// softmax(logits) and the one-hot target class. It is the training loss
+// for rate-coded classification, where logits are output-neuron spike
+// counts.
+func SoftmaxCrossEntropy(logits *Node, target int) *Node {
+	p := tensor.Softmax(logits.Value)
+	loss := -math.Log(math.Max(p.Data()[target], 1e-15))
+	v := tensor.Scalar(loss)
+	return newOp(v, func(out *Node) {
+		g := p.Clone()
+		g.Data()[target] -= 1
+		tensor.ScaleInPlace(g, out.Grad.Data()[0])
+		accumulate(logits, g)
+	}, logits)
+}

@@ -1,0 +1,211 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func TestSpikeForwardBinary(t *testing.T) {
+	u := Leaf(tensor.FromSlice([]float64{-0.5, 0.9, 1.0, 1.1}, 4))
+	s := Spike(u, 1.0, SurrogateScale)
+	want := []float64{0, 0, 0, 1}
+	for i, w := range want {
+		if s.Value.Data()[i] != w {
+			t.Errorf("spike[%d] = %g, want %g (strict threshold)", i, s.Value.Data()[i], w)
+		}
+	}
+}
+
+func TestSpikeSurrogateGradient(t *testing.T) {
+	// Backward must use the fast-sigmoid surrogate, not the (zero a.e.)
+	// true derivative of the Heaviside.
+	u := Leaf(tensor.FromSlice([]float64{1.2}, 1))
+	Backward(Sum(Spike(u, 1.0, 10)))
+	x := 0.2
+	want := 1 / math.Pow(1+10*math.Abs(x), 2)
+	if g := u.Grad.Data()[0]; math.Abs(g-want) > 1e-12 {
+		t.Errorf("surrogate grad = %g, want %g", g, want)
+	}
+}
+
+func TestSpikeSurrogatePeaksAtThreshold(t *testing.T) {
+	grads := make([]float64, 3)
+	for i, uv := range []float64{0.5, 1.0, 1.5} {
+		u := Leaf(tensor.Scalar(uv))
+		Backward(Sum(Spike(u, 1.0, 10)))
+		grads[i] = u.Grad.Data()[0]
+	}
+	if !(grads[1] > grads[0] && grads[1] > grads[2]) {
+		t.Errorf("surrogate gradient should peak at threshold: %v", grads)
+	}
+}
+
+func TestGumbelSigmoidDeterministic(t *testing.T) {
+	logits := Leaf(tensor.FromSlice([]float64{0}, 1))
+	noise := tensor.New(1)
+	s := GumbelSigmoid(logits, noise, 0.5)
+	if math.Abs(s.Value.Data()[0]-0.5) > 1e-12 {
+		t.Errorf("GumbelSigmoid(0) = %g, want 0.5", s.Value.Data()[0])
+	}
+}
+
+func TestGumbelSigmoidGradientFiniteDifference(t *testing.T) {
+	logits := tensor.RandNormal(rand.New(rand.NewSource(1)), 0, 1, 6)
+	noise := tensor.RandNormal(rand.New(rand.NewSource(2)), 0, 1, 6)
+	for _, tau := range []float64{0.3, 0.9, 2.0} {
+		checkGrad(t, "GumbelSigmoid", logits, func(x *Node) *Node {
+			return Sum(Square(GumbelSigmoid(x, noise, tau)))
+		}, 1e-4)
+	}
+}
+
+func TestGumbelSigmoidSharpensWithTemperature(t *testing.T) {
+	logits := Leaf(tensor.FromSlice([]float64{2}, 1))
+	noise := tensor.New(1)
+	warm := GumbelSigmoid(logits, noise, 1.0).Value.Data()[0]
+	cold := GumbelSigmoid(Leaf(tensor.FromSlice([]float64{2}, 1)), noise, 0.1).Value.Data()[0]
+	if !(cold > warm) {
+		t.Errorf("lower temperature should sharpen toward 1: τ=0.1 → %g, τ=1 → %g", cold, warm)
+	}
+}
+
+func TestGumbelSigmoidBadTemperaturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for τ ≤ 0")
+		}
+	}()
+	GumbelSigmoid(Leaf(tensor.New(1)), tensor.New(1), 0)
+}
+
+func TestSTEForwardBinarizesBackwardIdentity(t *testing.T) {
+	x := Leaf(tensor.FromSlice([]float64{0.3, 0.7, 0.5}, 3))
+	s := STE(x, 0.5)
+	want := []float64{0, 1, 0}
+	for i, w := range want {
+		if s.Value.Data()[i] != w {
+			t.Errorf("STE forward[%d] = %g, want %g", i, s.Value.Data()[i], w)
+		}
+	}
+	Backward(Sum(Scale(s, 3)))
+	for i := range want {
+		if g := x.Grad.Data()[i]; g != 3 {
+			t.Errorf("STE backward[%d] = %g, want identity (3)", i, g)
+		}
+	}
+}
+
+func TestLogisticNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	noise := tensor.New(20000)
+	LogisticNoise(noise, rng.Float64)
+	if !noise.AllFinite() {
+		t.Fatal("logistic noise produced non-finite values")
+	}
+	if m := tensor.Mean(noise); math.Abs(m) > 0.08 {
+		t.Errorf("logistic noise mean = %g, want ≈0", m)
+	}
+	// Logistic(0,1) variance is π²/3 ≈ 3.29.
+	if v := tensor.Variance(noise); math.Abs(v-math.Pi*math.Pi/3) > 0.35 {
+		t.Errorf("logistic noise variance = %g, want ≈3.29", v)
+	}
+}
+
+func TestLogisticNoiseClampsExtremes(t *testing.T) {
+	noise := tensor.New(2)
+	vals := []float64{0, 1}
+	i := 0
+	LogisticNoise(noise, func() float64 { v := vals[i]; i++; return v })
+	if !noise.AllFinite() {
+		t.Error("extreme uniforms must be clamped to finite logits")
+	}
+}
+
+func TestMaskedRowVarianceValue(t *testing.T) {
+	// Row 0: weights {1,2}, x={1,1} → contributions {1,2}, var 0.25.
+	// Row 1: single non-zero weight → var 0 by convention.
+	w := tensor.FromSlice([]float64{1, 2, 0, 3}, 2, 2)
+	x := Leaf(tensor.FromSlice([]float64{1, 1}, 2))
+	v := MaskedRowVariance(w, x)
+	if math.Abs(v.Value.Data()[0]-0.25) > 1e-12 {
+		t.Errorf("row 0 variance = %g, want 0.25", v.Value.Data()[0])
+	}
+	if v.Value.Data()[1] != 0 {
+		t.Errorf("row 1 variance = %g, want 0 (degenerate row)", v.Value.Data()[1])
+	}
+}
+
+func TestMaskedRowVarianceZeroWhenUniform(t *testing.T) {
+	// Contributions w_ij·x_j are uniform within each row → variance 0.
+	w := tensor.FromSlice([]float64{2, 3, 4, 6}, 2, 2)
+	x := Leaf(tensor.FromSlice([]float64{3, 2}, 2))
+	v := MaskedRowVariance(w, x)
+	if tensor.L1Norm(v.Value) > 1e-12 {
+		t.Errorf("uniform contributions should give zero variance, got %v", v.Value)
+	}
+}
+
+func TestMaskedRowVarianceGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := tensor.RandNormal(rng, 0, 1, 5, 4)
+	// Sparsify to exercise the mask.
+	w.Set(0, 0, 1)
+	w.Set(0, 2, 3)
+	w.Set(0, 4, 0)
+	x := tensor.RandNormal(rng, 0, 1, 4)
+	checkGrad(t, "MaskedRowVariance", x, func(xn *Node) *Node {
+		return Sum(MaskedRowVariance(w, xn))
+	}, 1e-4)
+}
+
+func TestSoftmaxCrossEntropyValueAndGradient(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	checkGrad(t, "SoftmaxCrossEntropy", logits, func(x *Node) *Node {
+		return SoftmaxCrossEntropy(x, 1)
+	}, 1e-4)
+	// Uniform logits: loss = ln(K).
+	u := Leaf(tensor.New(4))
+	l := SoftmaxCrossEntropy(u, 2)
+	if math.Abs(l.Value.Data()[0]-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform CE = %g, want ln 4", l.Value.Data()[0])
+	}
+}
+
+// Property: for any logits, the cross-entropy gradient sums to zero
+// (softmax − onehot always does).
+func TestCrossEntropyGradientSumZeroQuick(t *testing.T) {
+	prop := func(a [5]float64, targetRaw uint8) bool {
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 100 {
+				return true
+			}
+		}
+		target := int(targetRaw) % 5
+		leaf := Leaf(tensor.FromSlice(append([]float64(nil), a[:]...), 5))
+		Backward(SoftmaxCrossEntropy(leaf, target))
+		return math.Abs(tensor.Sum(leaf.Grad)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: STE output is always binary regardless of input.
+func TestSTEAlwaysBinaryQuick(t *testing.T) {
+	prop := func(a [7]float64) bool {
+		s := STE(Leaf(tensor.FromSlice(append([]float64(nil), a[:]...), 7)), 0.5)
+		for _, v := range s.Value.Data() {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func TestCompactPreservesCoverage(t *testing.T) {
+	net := smallNet(20)
+	cfg := TestConfig()
+	cfg.Seed = 21
+	cfg.MinNewFraction = 0 // let redundant chunks accumulate
+	res := Generate(net, cfg)
+	faults := fault.Enumerate(net, fault.DefaultOptions())
+
+	before := fault.Simulate(net, faults, res.Stimulus, 1, nil).NumDetected()
+	compacted, stats := Compact(net, res, faults, 1)
+	after := fault.Simulate(net, faults, compacted.Stimulus, 1, nil).NumDetected()
+
+	if stats.ChunksAfter > stats.ChunksBefore || stats.StepsAfter > stats.StepsBefore {
+		t.Errorf("compaction grew the test: %+v", stats)
+	}
+	// Union-of-chunks detection must be at least the per-chunk union the
+	// compactor certified; the assembled test may only differ through
+	// cross-chunk membrane interactions, which the zero separators
+	// eliminate — so coverage must not regress.
+	if after < before {
+		t.Errorf("compaction lost coverage: %d → %d detected", before, after)
+	}
+	if stats.Detected < after {
+		t.Errorf("certified %d < observed %d", stats.Detected, after)
+	}
+}
+
+func TestCompactSingleChunkNoop(t *testing.T) {
+	net := smallNet(22)
+	cfg := TestConfig()
+	cfg.Seed = 23
+	cfg.MaxIterations = 1
+	res := Generate(net, cfg)
+	if len(res.Chunks) != 1 {
+		t.Skip("needs a single-chunk result")
+	}
+	faults := fault.Enumerate(net, fault.DefaultOptions())
+	compacted, stats := Compact(net, res, faults, 1)
+	if stats.ChunksAfter != 1 || compacted.TotalSteps() != res.TotalSteps() {
+		t.Error("single-chunk compaction must be a no-op")
+	}
+}
+
+func TestCompactDropsRedundantChunk(t *testing.T) {
+	// Hand-build a result with a duplicated chunk: the duplicate detects
+	// exactly the same faults, so compaction must drop one copy.
+	net := smallNet(24)
+	cfg := TestConfig()
+	cfg.Seed = 25
+	cfg.MaxIterations = 1
+	res := Generate(net, cfg)
+	dup := &Result{
+		Chunks:    []*tensor.Tensor{res.Chunks[0], res.Chunks[0].Clone()},
+		TInMin:    res.TInMin,
+		Activated: res.Activated,
+	}
+	dup.Stimulus = Assemble(net, dup.Chunks)
+	faults := fault.Enumerate(net, fault.DefaultOptions())
+	_, stats := Compact(net, dup, faults, 1)
+	if stats.ChunksAfter != 1 {
+		t.Errorf("duplicate chunk not dropped: %+v", stats)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// IterationStats records one iteration of the outer loop (one generated
+// chunk).
+type IterationStats struct {
+	Iteration      int
+	ChunkSteps     int
+	Growths        int
+	NewActivated   int
+	TotalActivated int
+	Stage1Loss     float64
+}
+
+// Result is the output of Generate: the assembled test stimulus and its
+// provenance.
+type Result struct {
+	// Stimulus is the final test input I = {I¹,0¹,…,I^d} (Eq. 7), shape
+	// [T_test, InShape...].
+	Stimulus *tensor.Tensor
+	// Chunks are the optimized inputs I^j before interleaving.
+	Chunks []*tensor.Tensor
+	// TInMin is the calibrated (or configured) initial chunk duration.
+	TInMin int
+	// Activated is the final N_A set of globally indexed neurons.
+	Activated map[int]bool
+	// ActivatedFraction is |N_A| / |N|.
+	ActivatedFraction float64
+	// Trace holds per-iteration statistics.
+	Trace []IterationStats
+	// Runtime is the wall-clock test-generation time.
+	Runtime time.Duration
+}
+
+// TotalSteps returns T_test in simulation steps (Eq. 8).
+func (r *Result) TotalSteps() int { return r.Stimulus.Dim(0) }
+
+// DurationMS returns the test duration in milliseconds for the network's
+// step period.
+func (r *Result) DurationMS(net *snn.Network) float64 {
+	return float64(r.TotalSteps()) * net.StepMS
+}
+
+// DurationSamples expresses the test duration in equivalents of one
+// dataset sample of the given length (Table III's "test duration
+// (samples)" row).
+func (r *Result) DurationSamples(sampleSteps int) float64 {
+	return float64(r.TotalSteps()) / float64(sampleSteps)
+}
+
+// Generate runs the full test-generation algorithm of Fig. 2 on the
+// fault-free network and returns the assembled stimulus. The network
+// model stays fixed throughout; only the input is optimized.
+func Generate(net *snn.Network, cfg Config) *Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	offsets := net.LayerOffsets()
+	totalNeurons := net.NumNeurons()
+
+	tInMin := cfg.TInMin
+	if tInMin == 0 {
+		tInMin = CalibrateTInMin(net, &cfg, rng)
+		if tInMin < cfg.TInFloor {
+			tInMin = cfg.TInFloor
+		}
+	}
+	tdMin := math.Max(1, float64(tInMin/cfg.TDMinDivisor))
+
+	activated := make(map[int]bool)
+	res := &Result{TInMin: tInMin, Activated: activated}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if len(activated) >= totalNeurons || time.Since(start) > cfg.TimeLimit {
+			break
+		}
+		target := make(map[int]bool, totalNeurons-len(activated))
+		for g := 0; g < totalNeurons; g++ {
+			if !activated[g] {
+				target[g] = true
+			}
+		}
+		mask := TargetMask(net, target)
+
+		opt := newChunkOptimizer(net, &cfg, rng, tInMin)
+		beta := cfg.Beta
+		growths := 0
+		var best stageOutcome
+		for {
+			best = opt.runStage1(mask, tdMin, offsets)
+			if newTargets(best.activated, target) > 0 || growths >= cfg.MaxGrowth {
+				break
+			}
+			// No new target neuron activated: grow the input by β steps
+			// and repeat the stage; β doubles per growth (Section V-C).
+			opt.grow(beta)
+			beta *= 2
+			growths++
+			if time.Since(start) > cfg.TimeLimit {
+				break
+			}
+		}
+		if best.stim == nil {
+			break
+		}
+		if !cfg.DisableStage2 {
+			best = opt.runStage2(best, offsets)
+		}
+
+		newCount := 0
+		for g := range best.activated {
+			if !activated[g] {
+				activated[g] = true
+				newCount++
+			}
+		}
+		res.Chunks = append(res.Chunks, best.stim)
+		res.Trace = append(res.Trace, IterationStats{
+			Iteration:      iter,
+			ChunkSteps:     best.stim.Dim(0),
+			Growths:        growths,
+			NewActivated:   newCount,
+			TotalActivated: len(activated),
+			Stage1Loss:     best.loss,
+		})
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "iteration %d: chunk %d steps, +%d neurons (%d/%d activated)\n",
+				iter, best.stim.Dim(0), newCount, len(activated), totalNeurons)
+		}
+		if newCount == 0 || float64(newCount) < cfg.MinNewFraction*float64(totalNeurons) {
+			// The optimizer can no longer reach the remaining neurons at a
+			// useful rate (typically dead or suppressed weights); further
+			// iterations would only lengthen the test.
+			break
+		}
+	}
+
+	res.Stimulus = Assemble(net, res.Chunks)
+	res.ActivatedFraction = float64(len(activated)) / float64(totalNeurons)
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// newTargets counts activated neurons belonging to the target set.
+func newTargets(act, target map[int]bool) int {
+	n := 0
+	for g := range act {
+		if target[g] {
+			n++
+		}
+	}
+	return n
+}
+
+// Assemble concatenates the chunks interleaved with equal-length zero
+// inputs (Eq. 7): {I¹, 0¹, I², 0², …, 0^{d-1}, I^d}. The zero separators
+// let every membrane decay back to rest, the paper's "sleep" reset
+// between chunks. The total duration follows Eq. 8.
+func Assemble(net *snn.Network, chunks []*tensor.Tensor) *tensor.Tensor {
+	if len(chunks) == 0 {
+		return net.ZeroInput(1)
+	}
+	frame := net.InputLen()
+	total := 0
+	for i, c := range chunks {
+		total += c.Dim(0)
+		if i < len(chunks)-1 {
+			total += c.Dim(0) // the zero separator 0^j has duration T_in^j
+		}
+	}
+	out := tensor.New(append([]int{total}, net.InShape...)...)
+	off := 0
+	for i, c := range chunks {
+		copy(out.Data()[off*frame:], c.Data())
+		off += c.Dim(0)
+		if i < len(chunks)-1 {
+			off += c.Dim(0) // zero separator: already zero-filled
+		}
+	}
+	return out
+}
+
+// CalibrateTInMin finds the paper's T_in,min: the smallest input duration
+// for which optimizing min L1 alone makes every output neuron fire. It
+// starts from one step and doubles until the optimization succeeds; if no
+// duration fully succeeds within the cap, it returns the duration that
+// achieved the lowest L1 (preferring shorter on ties), leaving the rest
+// to the full stage-1 optimization with its larger budget.
+func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) int {
+	budget := cfg.Steps1 / 2
+	if budget < 60 {
+		budget = 60
+	}
+	const maxDuration = 512
+	bestT, bestL1 := maxDuration, math.Inf(1)
+	for t := 1; t <= maxDuration; t *= 2 {
+		opt := newChunkOptimizer(net, cfg, rng, t)
+		lrSched := cfg.lrSchedule(budget)
+		tauSched := cfg.tauSchedule(budget)
+		minL1 := math.Inf(1)
+		for s := 0; s < budget; s++ {
+			res, _ := opt.forward(tauSched.At(s))
+			l1 := L1(res)
+			if l1.Value.Data()[0] == 0 {
+				return t
+			}
+			if l1.Value.Data()[0] < minL1 {
+				minL1 = l1.Value.Data()[0]
+			}
+			opt.adam.ZeroGrad()
+			ag.Backward(l1)
+			opt.adam.LR = lrSched.At(s)
+			opt.adam.Step()
+		}
+		if minL1 < bestL1 {
+			bestL1, bestT = minL1, t
+		}
+	}
+	return bestT
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's contribution: a test-generation
+// algorithm that optimizes a short spatio-temporal binary input toward
+// maximum hardware fault coverage without running fault simulation in the
+// loop (Section IV).
+//
+// Instead of using fault coverage as the fitness — whose evaluation cost
+// O(M·T_FS) explodes with model size — the input is optimized against
+// five spike-domain loss functions that act as proxies for fault
+// sensitization and fault-effect propagation:
+//
+//	L1 (Eq. 9)  every output neuron fires              → effects reach O^L
+//	L2 (Eq. 10) every neuron fires                     → dead faults exposed
+//	L3 (Eq. 12) spike trains are temporally diverse    → timing faults exposed
+//	L4 (Eq. 13) synapse contributions are uniform      → weak synapses unmasked
+//	L5 (Eq. 16) hidden spike traffic is minimal        → refractory masking reduced
+//
+// The optimization runs in two stages per generated chunk (Fig. 2):
+// stage 1 minimizes α₁L1+α₂L2+α₃L3+α₄L4, stage 2 minimizes L5 subject to
+// an unchanged output response. Chunks are concatenated with equal-length
+// zero separators into the final test stimulus (Eq. 7).
+package core
+
+import (
+	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// LayerMask restricts a loss to a subset of neurons: Masks[ℓ] is a 0/1
+// vector over layer ℓ's neurons. A nil LayerMask (or nil entry) means
+// "all neurons".
+type LayerMask struct {
+	Masks []*tensor.Tensor
+}
+
+// FullMask returns a mask covering every neuron of the network.
+func FullMask(net *snn.Network) *LayerMask {
+	m := &LayerMask{Masks: make([]*tensor.Tensor, len(net.Layers))}
+	for i, l := range net.Layers {
+		m.Masks[i] = tensor.Full(1, l.NumNeurons())
+	}
+	return m
+}
+
+// TargetMask returns a mask selecting exactly the globally indexed neurons
+// in target (the paper's N_T = N \ N_A).
+func TargetMask(net *snn.Network, target map[int]bool) *LayerMask {
+	offs := net.LayerOffsets()
+	m := &LayerMask{Masks: make([]*tensor.Tensor, len(net.Layers))}
+	for i, l := range net.Layers {
+		v := tensor.New(l.NumNeurons())
+		for j := 0; j < l.NumNeurons(); j++ {
+			if target[offs[i]+j] {
+				v.Data()[j] = 1
+			}
+		}
+		m.Masks[i] = v
+	}
+	return m
+}
+
+// Count returns the number of selected neurons.
+func (m *LayerMask) Count() int {
+	n := 0.0
+	for _, v := range m.Masks {
+		n += tensor.Sum(v)
+	}
+	return int(n)
+}
+
+// maskFor returns the mask vector of layer li, or nil for "all".
+func (m *LayerMask) maskFor(li int) *tensor.Tensor {
+	if m == nil || m.Masks == nil {
+		return nil
+	}
+	return m.Masks[li]
+}
+
+// hingeBelow returns Σ mask ⊙ max(0, floor − x): the generic hinge used by
+// L1, L2 and L3.
+func hingeBelow(x *ag.Node, floor float64, mask *tensor.Tensor) *ag.Node {
+	h := ag.Relu(ag.AddScalar(ag.Neg(x), floor))
+	if mask != nil {
+		h = ag.MulConstVec(h, mask)
+	}
+	return ag.Sum(h)
+}
+
+// L1 (Eq. 9) penalizes output neurons that fire no spike during the
+// inference window, reinforcing fault-effect sensitization at the output.
+func L1(res *snn.GraphResult) *ag.Node {
+	return hingeBelow(res.LayerCounts(res.OutputLayer()), 1, nil)
+}
+
+// L2 (Eq. 10) penalizes any neuron that fires no spike — neuron activation
+// is the necessary condition for exposing dead and timing faults, and
+// uniform activation equalizes neuron importance. The mask restricts the
+// hinge to the current target set N_T.
+func L2(res *snn.GraphResult, mask *LayerMask) *ag.Node {
+	terms := make([]*ag.Node, len(res.Spikes))
+	for li := range res.Spikes {
+		terms[li] = hingeBelow(res.LayerCounts(li), 1, mask.maskFor(li))
+	}
+	return ag.AddN(terms...)
+}
+
+// temporalDiversity returns the differentiable TD^{ℓi} vector of layer li
+// (Eq. 11): the number of state changes of each neuron's train.
+func temporalDiversity(res *snn.GraphResult, li int) *ag.Node {
+	spikes := res.Spikes[li]
+	n := spikes[0].Value.Len()
+	if len(spikes) < 2 {
+		return ag.Const(tensor.New(n))
+	}
+	diffs := make([]*ag.Node, 0, len(spikes)-1)
+	for t := 1; t < len(spikes); t++ {
+		d := ag.Abs(ag.Sub(ag.Reshape(spikes[t], n), ag.Reshape(spikes[t-1], n)))
+		diffs = append(diffs, d)
+	}
+	return ag.AddN(diffs...)
+}
+
+// L3 (Eq. 12) penalizes neurons whose temporal diversity falls below
+// tdMin, promoting irregular trains that expose timing-variation faults.
+func L3(res *snn.GraphResult, mask *LayerMask, tdMin float64) *ag.Node {
+	terms := make([]*ag.Node, len(res.Spikes))
+	for li := range res.Spikes {
+		terms[li] = hingeBelow(temporalDiversity(res, li), tdMin, mask.maskFor(li))
+	}
+	return ag.AddN(terms...)
+}
+
+// L4 (Eq. 13) penalizes non-uniform synapse contributions
+// w_{j,i}·|O^{ℓ-1,j}| into each post-synaptic neuron, so that strong
+// synapses cannot mask the faults of weak ones. Layers without faultable
+// fan-in weights (pooling) are skipped, as is the first layer (its
+// presynaptic side is the input, not a neuron population, per the ℓ ≥ 2
+// range of Eq. 13).
+func L4(net *snn.Network, res *snn.GraphResult) *ag.Node {
+	var terms []*ag.Node
+	for li := 1; li < len(net.Layers); li++ {
+		proj := net.Layers[li].Proj
+		fanIn := proj.FanIn()
+		if fanIn == nil {
+			continue
+		}
+		pre := res.LayerCounts(li - 1)
+		var own *ag.Node
+		if _, ok := proj.(*snn.RecurrentProj); ok {
+			own = res.LayerCounts(li)
+		}
+		contrib := proj.ContributionCounts(pre, own)
+		terms = append(terms, ag.Sum(ag.MaskedRowVariance(fanIn, contrib)))
+	}
+	if len(terms) == 0 {
+		return ag.Const(tensor.Scalar(0))
+	}
+	return ag.AddN(terms...)
+}
+
+// L5 (Eq. 16) is the total hidden-layer spike traffic; stage 2 minimizes
+// it to reduce refractory information loss while holding O^L constant.
+func L5(res *snn.GraphResult) *ag.Node {
+	if len(res.Spikes) == 1 {
+		return ag.Const(tensor.Scalar(0))
+	}
+	terms := make([]*ag.Node, 0, len(res.Spikes)-1)
+	for li := 0; li < len(res.Spikes)-1; li++ {
+		terms = append(terms, ag.Sum(res.LayerCounts(li)))
+	}
+	return ag.AddN(terms...)
+}
+
+// OutputMismatch returns the differentiable ‖O^L − ref‖₁ penalty that
+// enforces stage 2's constant-output constraint; ref holds the reference
+// output trains [T, N^L] from stage 1.
+func OutputMismatch(res *snn.GraphResult, ref *tensor.Tensor) *ag.Node {
+	out := res.Spikes[res.OutputLayer()]
+	n := out[0].Value.Len()
+	terms := make([]*ag.Node, len(out))
+	for t, s := range out {
+		refT := tensor.FromSlice(ref.Data()[t*n:(t+1)*n], n)
+		terms[t] = ag.Sum(ag.Abs(ag.Sub(ag.Reshape(s, n), ag.Const(refT))))
+	}
+	return ag.AddN(terms...)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/repro/snntest/internal/core"
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/metrics"
+	"github.com/repro/snntest/internal/report"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Fig7 renders snapshots of the optimized test stimulus at evenly spaced
+// time stamps (the paper's Fig. 7: blue/red polarity dots become '+'/'-').
+func Fig7(w io.Writer, p *Pipeline, snapshots int) {
+	gen := p.Generate()
+	stim := gen.Stimulus
+	steps := stim.Dim(0)
+	frame := p.Net.InputLen()
+	if snapshots < 1 {
+		snapshots = 4
+	}
+	fmt.Fprintf(w, "Fig. 7: Snapshots of the optimized test stimulus (%s, %d steps)\n\n", p.Benchmark, steps)
+	for s := 0; s < snapshots; s++ {
+		t := s * (steps - 1) / max(1, snapshots-1)
+		f := tensor.FromSlice(stim.Data()[t*frame:(t+1)*frame], p.Net.InShape...)
+		report.FrameSnapshot(w, f, fmt.Sprintf("t = %d ms", int(float64(t)*p.Net.StepMS)))
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig8Data is the quantitative content of the paper's Fig. 8: neuron
+// activation under the optimized test versus a random dataset sample.
+type Fig8Data struct {
+	Optimized metrics.ActivationMap
+	Sample    metrics.ActivationMap
+}
+
+// Fig8 computes both activation maps.
+func Fig8(p *Pipeline) Fig8Data {
+	gen := p.Generate()
+	return Fig8Data{
+		Optimized: metrics.Activation(p.Net, gen.Stimulus),
+		Sample:    metrics.Activation(p.Net, p.RandomSample(3)),
+	}
+}
+
+// RenderFig8 prints the per-layer activation grids side by side.
+func RenderFig8(w io.Writer, p *Pipeline, d Fig8Data) {
+	fmt.Fprintf(w, "Fig. 8: Neuron activity, optimized test vs. random dataset sample (%s)\n\n", p.Benchmark)
+	fmt.Fprintf(w, "(a) Optimized test input: %.2f%% of neurons activated\n", 100*d.Optimized.Overall)
+	for li, name := range d.Optimized.LayerNames {
+		report.ActivationGrid(w, name, d.Optimized.Activated[li], 48)
+	}
+	fmt.Fprintf(w, "\n(b) Random dataset sample: %.2f%% of neurons activated\n", 100*d.Sample.Overall)
+	for li, name := range d.Sample.LayerNames {
+		report.ActivationGrid(w, name, d.Sample.Activated[li], 48)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig9Data is the content of the paper's Fig. 9: per-class distributions
+// of the output spike-count difference over detected faults.
+type Fig9Data struct {
+	Diffs metrics.ClassDiffs
+	// DetectedFaults is the number of faults contributing to each class
+	// distribution.
+	DetectedFaults int
+}
+
+// Fig9 simulates the fault universe against the optimized stimulus and
+// collects the per-class output corruption distributions.
+func Fig9(p *Pipeline) Fig9Data {
+	gen := p.Generate()
+	cd := metrics.OutputSpikeDiffs(p.Net, p.Faults(), gen.Stimulus)
+	n := 0
+	if len(cd.Diffs) > 0 {
+		n = len(cd.Diffs[0])
+	}
+	return Fig9Data{Diffs: cd, DetectedFaults: n}
+}
+
+// RenderFig9 prints one histogram per output class.
+func RenderFig9(w io.Writer, p *Pipeline, d Fig9Data, bins int) {
+	fmt.Fprintf(w, "Fig. 9: Per-class output spike-count difference over %d detected faults (%s)\n\n",
+		d.DetectedFaults, p.Benchmark)
+	maxDiff := 0.0
+	for _, diffs := range d.Diffs.Diffs {
+		for _, v := range diffs {
+			if v > maxDiff {
+				maxDiff = v
+			}
+		}
+	}
+	if maxDiff == 0 {
+		fmt.Fprintln(w, "(no detected faults)")
+		return
+	}
+	for c, diffs := range d.Diffs.Diffs {
+		counts, width := metrics.Histogram(diffs, bins, maxDiff)
+		report.HistogramChart(w, fmt.Sprintf("class %d (p50 %.1f, p95 %.1f)",
+			c, metrics.Percentile(diffs, 0.5), metrics.Percentile(diffs, 0.95)), counts, width)
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// AblationResult compares a full algorithm run against a variant with one
+// design element removed.
+type AblationResult struct {
+	Name       string
+	FullFC     float64 // overall FC of the full algorithm, percent
+	VariantFC  float64 // overall FC of the ablated variant, percent
+	FullSteps  int
+	VariantVar int // variant stimulus duration in steps
+}
+
+// Ablate runs the generator with a mutated config and reports coverage
+// against the pipeline's fault universe.
+func Ablate(p *Pipeline, name string, mutate func(*core.Config)) AblationResult {
+	faults := p.Faults()
+
+	full := p.Generate()
+	fullSim := fault.Simulate(p.Net, faults, full.Stimulus, p.Opts.Workers, nil)
+
+	cfg := p.Opts.GenConfig
+	mutate(&cfg)
+	variant := core.Generate(p.Net, cfg)
+	varSim := fault.Simulate(p.Net, faults, variant.Stimulus, p.Opts.Workers, nil)
+
+	return AblationResult{
+		Name:       name,
+		FullFC:     100 * float64(fullSim.NumDetected()) / float64(len(faults)),
+		VariantFC:  100 * float64(varSim.NumDetected()) / float64(len(faults)),
+		FullSteps:  full.TotalSteps(),
+		VariantVar: variant.TotalSteps(),
+	}
+}
+
+// RenderAblations prints the ablation comparison table.
+func RenderAblations(w io.Writer, rows []AblationResult) {
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Name,
+			fmt.Sprintf("%.2f%%", r.FullFC),
+			fmt.Sprintf("%.2f%%", r.VariantFC),
+			fmt.Sprintf("%+.2f%%", r.VariantFC-r.FullFC),
+		}
+	}
+	report.Table(w, "Ablation study (overall FC)", []string{"Variant", "Full", "Ablated", "Δ"}, table)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

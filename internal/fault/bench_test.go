@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func BenchmarkInjectRevert(b *testing.B) {
+	net := tinyNet(1)
+	inj := NewInjector(net)
+	faults := Enumerate(net, ExtendedOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := faults[i%len(faults)]
+		revert := inj.Apply(f)
+		revert()
+	}
+}
+
+func BenchmarkSimulateUniverse(b *testing.B) {
+	net := tinyNet(2)
+	faults := Enumerate(net, DefaultOptions())
+	stim := denseStim(3, net, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(net, faults, stim, 1, nil)
+	}
+	b.ReportMetric(float64(len(faults)), "faults")
+}
+
+func BenchmarkClassify(b *testing.B) {
+	net := tinyNet(4)
+	faults := Enumerate(net, DefaultOptions())
+	samples := []*tensor.Tensor{denseStim(5, net, 15), denseStim(6, net, 15)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(net, faults, samples, 1, nil)
+	}
+}

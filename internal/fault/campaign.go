@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// SimResult is the outcome of one fault-simulation campaign against a
+// test stimulus.
+type SimResult struct {
+	Detected []bool // parallel to the fault list
+	Elapsed  time.Duration
+}
+
+// NumDetected counts detected faults.
+func (r *SimResult) NumDetected() int {
+	n := 0
+	for _, d := range r.Detected {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// workerCount resolves a worker request against GOMAXPROCS.
+func workerCount(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFaults fans the fault indices out over per-worker injectors and
+// calls fn(injector, faultIndex) for each.
+func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, i int)) {
+	workers = workerCount(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		inj := NewInjector(golden)
+		for i := 0; i < n; i++ {
+			fn(inj, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inj := NewInjector(golden)
+			for i := range next {
+				fn(inj, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Simulate runs the full fault-simulation campaign: each fault is
+// injected in turn and the network is simulated on the stimulus; the
+// fault is detected if the output spike trains differ from the golden
+// response in L1 (Eq. 3). workers ≤ 0 uses GOMAXPROCS. progress, when
+// non-nil, is called periodically with the number of completed faults.
+func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, workers int, progress func(done int)) *SimResult {
+	start := time.Now()
+	goldenOut := golden.Run(stimulus).Output()
+	res := &SimResult{Detected: make([]bool, len(faults))}
+	var done int64
+	var mu sync.Mutex
+	parallelFaults(golden, len(faults), workers, func(inj *Injector, i int) {
+		revert := inj.Apply(faults[i])
+		out := inj.Net().Run(stimulus).Output()
+		revert()
+		if tensor.L1Diff(goldenOut, out) > 0 {
+			res.Detected[i] = true
+		}
+		if progress != nil {
+			mu.Lock()
+			done++
+			if done%256 == 0 || int(done) == len(faults) {
+				progress(int(done))
+			}
+			mu.Unlock()
+		}
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Classify labels each fault critical (true) or benign (false): a fault
+// is critical when it flips the top-1 prediction of at least one of the
+// labelled evaluation stimuli (the paper's criterion). This is the
+// expensive full-dataset campaign of Table II.
+func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, workers int, progress func(done int)) []bool {
+	goldenPred := make([]int, len(samples))
+	for i, s := range samples {
+		goldenPred[i] = golden.Predict(s)
+	}
+	critical := make([]bool, len(faults))
+	var done int64
+	var mu sync.Mutex
+	parallelFaults(golden, len(faults), workers, func(inj *Injector, i int) {
+		revert := inj.Apply(faults[i])
+		for si, s := range samples {
+			if inj.Net().Predict(s) != goldenPred[si] {
+				critical[i] = true
+				break
+			}
+		}
+		revert()
+		if progress != nil {
+			mu.Lock()
+			done++
+			if done%64 == 0 || int(done) == len(faults) {
+				progress(int(done))
+			}
+			mu.Unlock()
+		}
+	})
+	return critical
+}
+
+// AccuracyDrop returns how much the network's top-1 accuracy on the
+// labelled samples drops when the fault is present (positive = worse than
+// golden). It quantifies the worst-case effect of a test escape
+// (Table III, last row).
+func AccuracyDrop(golden *snn.Network, f Fault, samples []*tensor.Tensor, labels []int) float64 {
+	correctGolden, correctFaulty := 0, 0
+	inj := NewInjector(golden)
+	revert := inj.Apply(f)
+	defer revert()
+	for i, s := range samples {
+		if golden.Predict(s) == labels[i] {
+			correctGolden++
+		}
+		if inj.Net().Predict(s) == labels[i] {
+			correctFaulty++
+		}
+	}
+	return float64(correctGolden-correctFaulty) / float64(len(samples))
+}
+
+// MaxEscapeDrop returns the maximum accuracy drop over the undetected
+// critical faults, split into neuron and synapse classes.
+func MaxEscapeDrop(golden *snn.Network, faults []Fault, detected, critical []bool, samples []*tensor.Tensor, labels []int) (neuron, synapse float64) {
+	for i, f := range faults {
+		if detected[i] || !critical[i] {
+			continue
+		}
+		drop := AccuracyDrop(golden, f, samples, labels)
+		if f.Kind.IsNeuron() {
+			if drop > neuron {
+				neuron = drop
+			}
+		} else if drop > synapse {
+			synapse = drop
+		}
+	}
+	return neuron, synapse
+}

@@ -1,0 +1,81 @@
+package fault
+
+import "fmt"
+
+// Coverage aggregates fault-coverage statistics per fault class, the
+// quantities reported in Table III.
+type Coverage struct {
+	TotalFaults int
+
+	CriticalNeuron  ClassCoverage
+	BenignNeuron    ClassCoverage
+	CriticalSynapse ClassCoverage
+	BenignSynapse   ClassCoverage
+}
+
+// ClassCoverage is detected/total for one fault class.
+type ClassCoverage struct {
+	Detected int
+	Total    int
+}
+
+// FC returns the fault coverage ratio (Eq. 4) of the class, or 1 when the
+// class is empty (vacuously covered).
+func (c ClassCoverage) FC() float64 {
+	if c.Total == 0 {
+		return 1
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+func (c ClassCoverage) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", c.Detected, c.Total, 100*c.FC())
+}
+
+// Compute tallies coverage per class from parallel detected/critical
+// flags over the fault list.
+func Compute(faults []Fault, detected, critical []bool) Coverage {
+	if len(faults) != len(detected) || len(faults) != len(critical) {
+		panic(fmt.Sprintf("fault: Compute length mismatch %d/%d/%d", len(faults), len(detected), len(critical)))
+	}
+	cov := Coverage{TotalFaults: len(faults)}
+	for i, f := range faults {
+		var cc *ClassCoverage
+		switch {
+		case f.Kind.IsNeuron() && critical[i]:
+			cc = &cov.CriticalNeuron
+		case f.Kind.IsNeuron():
+			cc = &cov.BenignNeuron
+		case critical[i]:
+			cc = &cov.CriticalSynapse
+		default:
+			cc = &cov.BenignSynapse
+		}
+		cc.Total++
+		if detected[i] {
+			cc.Detected++
+		}
+	}
+	return cov
+}
+
+// OverallFC returns the coverage over the entire universe regardless of
+// class.
+func (c Coverage) OverallFC() float64 {
+	det := c.CriticalNeuron.Detected + c.BenignNeuron.Detected + c.CriticalSynapse.Detected + c.BenignSynapse.Detected
+	if c.TotalFaults == 0 {
+		return 1
+	}
+	return float64(det) / float64(c.TotalFaults)
+}
+
+// CriticalFC returns the coverage restricted to critical faults, the
+// paper's primary figure of merit.
+func (c Coverage) CriticalFC() float64 {
+	det := c.CriticalNeuron.Detected + c.CriticalSynapse.Detected
+	tot := c.CriticalNeuron.Total + c.CriticalSynapse.Total
+	if tot == 0 {
+		return 1
+	}
+	return float64(det) / float64(tot)
+}

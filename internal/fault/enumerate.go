@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"github.com/repro/snntest/internal/snn"
+)
+
+// Enumerate lists the fault universe of the network under the given
+// options, in deterministic order: layer by layer, neurons before
+// synapses, kinds in declaration order.
+func Enumerate(net *snn.Network, opts Options) []Fault {
+	var faults []Fault
+	deltas := opts.TimingDeltas
+	if opts.TimingVariation && len(deltas) == 0 {
+		deltas = []float64{0.5, 1.5}
+	}
+	bits := opts.BitFlipBits
+	if opts.BitFlips && len(bits) == 0 {
+		bits = []int{0, 3, 6, 7}
+	}
+	for li, l := range net.Layers {
+		nn := l.NumNeurons()
+		if opts.NeuronDeadSaturated {
+			for i := 0; i < nn; i++ {
+				faults = append(faults,
+					Fault{Kind: NeuronDead, Layer: li, Neuron: i},
+					Fault{Kind: NeuronSaturated, Layer: li, Neuron: i})
+			}
+		}
+		if opts.TimingVariation {
+			for i := 0; i < nn; i++ {
+				for _, d := range deltas {
+					faults = append(faults,
+						Fault{Kind: NeuronThresholdVar, Layer: li, Neuron: i, Delta: d},
+						Fault{Kind: NeuronLeakVar, Layer: li, Neuron: i, Delta: d},
+					)
+				}
+				faults = append(faults, Fault{Kind: NeuronRefractoryVar, Layer: li, Neuron: i, Delta: 3})
+			}
+		}
+		ns := l.NumSynapses()
+		if opts.SynapseDeadSat {
+			for s := 0; s < ns; s++ {
+				faults = append(faults,
+					Fault{Kind: SynapseDead, Layer: li, Synapse: s},
+					Fault{Kind: SynapseSatPos, Layer: li, Synapse: s},
+					Fault{Kind: SynapseSatNeg, Layer: li, Synapse: s})
+			}
+		}
+		if opts.BitFlips {
+			for s := 0; s < ns; s++ {
+				for _, b := range bits {
+					faults = append(faults, Fault{Kind: SynapseBitFlip, Layer: li, Synapse: s, Bit: b})
+				}
+			}
+		}
+	}
+	return faults
+}
+
+// UniverseSize returns the fault count Enumerate would produce without
+// materializing the slice, useful for paper-scale reporting (the IBM
+// model's universe exceeds three million faults).
+func UniverseSize(net *snn.Network, opts Options) int {
+	perNeuron, perSynapse := 0, 0
+	if opts.NeuronDeadSaturated {
+		perNeuron += 2
+	}
+	if opts.TimingVariation {
+		deltas := len(opts.TimingDeltas)
+		if deltas == 0 {
+			deltas = 2
+		}
+		perNeuron += 2*deltas + 1
+	}
+	if opts.SynapseDeadSat {
+		perSynapse += 3
+	}
+	if opts.BitFlips {
+		bits := len(opts.BitFlipBits)
+		if bits == 0 {
+			bits = 4
+		}
+		perSynapse += bits
+	}
+	return perNeuron*net.NumNeurons() + perSynapse*net.NumSynapses()
+}
+
+// SampleUniverse returns every nth fault of the universe (n = stride),
+// a deterministic subsample for statistically estimating coverage on
+// models whose full universe is too large to simulate exhaustively.
+func SampleUniverse(net *snn.Network, opts Options, stride int) []Fault {
+	if stride <= 1 {
+		return Enumerate(net, opts)
+	}
+	all := Enumerate(net, opts)
+	out := make([]Fault, 0, len(all)/stride+1)
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}

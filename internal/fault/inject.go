@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/repro/snntest/internal/snn"
+)
+
+// Injector applies faults to a private clone of a network and reverts
+// them, so thousands of faults can be simulated without re-cloning the
+// model per fault. Each Injector owns its clone; use one Injector per
+// worker goroutine.
+type Injector struct {
+	net     *snn.Network
+	satVals []float64 // per-layer saturation magnitude: SaturationFactor·max|w|
+}
+
+// NewInjector clones the golden network for fault application.
+func NewInjector(golden *snn.Network) *Injector {
+	net := golden.Clone()
+	sat := make([]float64, len(net.Layers))
+	for i, l := range net.Layers {
+		sat[i] = SaturationFactor * l.MaxAbsWeight()
+	}
+	return &Injector{net: net, satVals: sat}
+}
+
+// Net returns the injector's working network. It reflects the currently
+// applied fault, if any.
+func (inj *Injector) Net() *snn.Network { return inj.net }
+
+// Apply injects f into the working network and returns a function that
+// restores the pre-fault state. Exactly one fault should be active at a
+// time.
+func (inj *Injector) Apply(f Fault) (revert func()) {
+	l := inj.net.Layers[f.Layer]
+	switch f.Kind {
+	case NeuronDead, NeuronSaturated:
+		prev := snn.NeuronNormal
+		if l.Modes != nil {
+			prev = l.Modes[f.Neuron]
+		}
+		mode := snn.NeuronDead
+		if f.Kind == NeuronSaturated {
+			mode = snn.NeuronSaturated
+		}
+		l.SetNeuronMode(f.Neuron, mode)
+		return func() { l.Modes[f.Neuron] = prev }
+
+	case NeuronThresholdVar:
+		prev := 0.0
+		if l.Thresholds != nil {
+			prev = l.Thresholds[f.Neuron]
+		}
+		l.SetNeuronThreshold(f.Neuron, l.LIF.Threshold*f.Delta)
+		return func() { l.Thresholds[f.Neuron] = prev }
+
+	case NeuronLeakVar:
+		prev := 0.0
+		if l.Leaks != nil {
+			prev = l.Leaks[f.Neuron]
+		}
+		leak := l.LIF.Leak * f.Delta
+		if leak > 1 {
+			leak = 1
+		}
+		l.SetNeuronLeak(f.Neuron, leak)
+		return func() { l.Leaks[f.Neuron] = prev }
+
+	case NeuronRefractoryVar:
+		prev := -1
+		if l.Refracs != nil {
+			prev = l.Refracs[f.Neuron]
+		}
+		l.SetNeuronRefractory(f.Neuron, l.LIF.Refractory+int(math.Round(f.Delta)))
+		return func() { l.Refracs[f.Neuron] = prev }
+
+	case SynapseDead, SynapseSatPos, SynapseSatNeg, SynapseBitFlip:
+		w := l.SynapseWeightAt(f.Synapse)
+		prev := *w
+		switch f.Kind {
+		case SynapseDead:
+			*w = 0
+		case SynapseSatPos:
+			*w = inj.satVals[f.Layer]
+		case SynapseSatNeg:
+			*w = -inj.satVals[f.Layer]
+		case SynapseBitFlip:
+			*w = flipQuantizedBit(prev, f.Bit, inj.satVals[f.Layer]/SaturationFactor)
+		}
+		return func() { *w = prev }
+
+	default:
+		panic(fmt.Sprintf("fault: unknown kind %v", f.Kind))
+	}
+}
+
+// flipQuantizedBit models a bit-flip in an 8-bit signed fixed-point weight
+// memory: the weight is quantized with the layer's max|w| mapped to 127,
+// the requested bit of the two's-complement code is flipped, and the
+// result is dequantized. Bit 7 is the sign bit.
+func flipQuantizedBit(w float64, bit int, maxAbs float64) float64 {
+	if maxAbs == 0 {
+		return w
+	}
+	scale := maxAbs / 127
+	q := int(math.Round(w / scale))
+	if q > 127 {
+		q = 127
+	} else if q < -128 {
+		q = -128
+	}
+	code := uint8(int8(q))
+	code ^= 1 << uint(bit)
+	return float64(int8(code)) * scale
+}

@@ -1,0 +1,168 @@
+// Package metrics computes the evaluation quantities of the paper's
+// result section that are not already owned by the fault package:
+// neuron-activation maps (Fig. 8), per-class output spike-count-difference
+// distributions of detected faults (Fig. 9), and duration conversions.
+package metrics
+
+import (
+	"math"
+
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// ActivationMap describes which neurons a stimulus activates, per layer —
+// the data behind the paper's Fig. 8 color maps.
+type ActivationMap struct {
+	LayerNames []string
+	// Activated[ℓ][i] reports whether neuron i of layer ℓ fired ≥ 1 spike.
+	Activated [][]bool
+	// Fractions[ℓ] is the activated fraction of layer ℓ.
+	Fractions []float64
+	// Overall is the network-wide activated fraction.
+	Overall float64
+}
+
+// Activation runs the network on the stimulus and maps the activated
+// neurons.
+func Activation(net *snn.Network, stimulus *tensor.Tensor) ActivationMap {
+	rec := net.Run(stimulus)
+	m := ActivationMap{
+		LayerNames: make([]string, len(net.Layers)),
+		Activated:  make([][]bool, len(net.Layers)),
+		Fractions:  make([]float64, len(net.Layers)),
+	}
+	total, act := 0, 0
+	for li, l := range net.Layers {
+		m.LayerNames[li] = l.Name
+		counts := rec.Counts(li)
+		flags := make([]bool, l.NumNeurons())
+		layerAct := 0
+		for i, c := range counts.Data() {
+			if c >= 1 {
+				flags[i] = true
+				layerAct++
+			}
+		}
+		m.Activated[li] = flags
+		m.Fractions[li] = float64(layerAct) / float64(l.NumNeurons())
+		total += l.NumNeurons()
+		act += layerAct
+	}
+	m.Overall = float64(act) / float64(total)
+	return m
+}
+
+// ClassDiffs holds, for each output class, the distribution of
+// |Δ spike count| over the detected faults — Fig. 9's superimposed
+// per-class distributions.
+type ClassDiffs struct {
+	// Diffs[c] lists the absolute output-count differences of class c
+	// over all detected faults.
+	Diffs [][]float64
+}
+
+// OutputSpikeDiffs simulates every fault against the stimulus and
+// collects, for the detected ones, the per-class absolute spike-count
+// difference with respect to the fault-free response.
+func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.Tensor) ClassDiffs {
+	goldenCounts := net.Run(stimulus).OutputCounts()
+	classes := goldenCounts.Len()
+	cd := ClassDiffs{Diffs: make([][]float64, classes)}
+	inj := fault.NewInjector(net)
+	for _, f := range faults {
+		revert := inj.Apply(f)
+		counts := inj.Net().Run(stimulus).OutputCounts()
+		revert()
+		detected := false
+		diffs := make([]float64, classes)
+		for c := 0; c < classes; c++ {
+			diffs[c] = math.Abs(counts.At(c) - goldenCounts.At(c))
+			if diffs[c] > 0 {
+				detected = true
+			}
+		}
+		if !detected {
+			continue
+		}
+		for c := 0; c < classes; c++ {
+			cd.Diffs[c] = append(cd.Diffs[c], diffs[c])
+		}
+	}
+	return cd
+}
+
+// Histogram bins values into nbins equal-width bins over [0, max]; it
+// returns the bin counts and the bin width. Values beyond max land in the
+// last bin.
+func Histogram(values []float64, nbins int, max float64) (counts []int, width float64) {
+	counts = make([]int, nbins)
+	if nbins == 0 || max <= 0 {
+		return counts, 0
+	}
+	width = max / float64(nbins)
+	for _, v := range values {
+		b := int(v / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, width
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of values using the
+// nearest-rank method; it returns 0 for empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	// insertion sort: the inputs here are small distributions
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// DurationSeconds converts simulation steps to seconds for a network's
+// step period.
+func DurationSeconds(net *snn.Network, steps int) float64 {
+	return float64(steps) * net.StepMS / 1000
+}
+
+// WilsonInterval returns the 95% Wilson score interval for a coverage
+// estimate of k detections out of n sampled faults — the right way to
+// report fault coverage measured on a strided subsample of the universe.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959964 // 97.5th percentile of the standard normal
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

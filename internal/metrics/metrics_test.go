@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func toyNet(seed int64) *snn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4)), snn.DefaultLIF())
+	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5)), snn.DefaultLIF())
+	return snn.NewNetwork("toy", []int{4}, 1.0, l1, l2)
+}
+
+func TestActivationMap(t *testing.T) {
+	net := toyNet(1)
+	stim := tensor.RandBernoulli(rand.New(rand.NewSource(2)), 0.6, 15, 4)
+	m := Activation(net, stim)
+	if len(m.Activated) != 2 || len(m.Fractions) != 2 {
+		t.Fatal("one entry per layer expected")
+	}
+	rec := net.Run(stim)
+	for li := range m.Activated {
+		counts := rec.Counts(li)
+		for i, a := range m.Activated[li] {
+			if a != (counts.At(i) >= 1) {
+				t.Errorf("layer %d neuron %d: flag %v, count %g", li, i, a, counts.At(i))
+			}
+		}
+	}
+	// Zero stimulus activates nothing.
+	z := Activation(net, net.ZeroInput(5))
+	if z.Overall != 0 {
+		t.Errorf("zero stimulus overall activation = %g", z.Overall)
+	}
+}
+
+func TestOutputSpikeDiffsDetectedOnly(t *testing.T) {
+	net := toyNet(3)
+	stim := tensor.RandBernoulli(rand.New(rand.NewSource(4)), 0.6, 15, 4)
+	faults := []fault.Fault{
+		{Kind: fault.NeuronSaturated, Layer: 1, Neuron: 0}, // detectable: floods output 0
+	}
+	cd := OutputSpikeDiffs(net, faults, stim)
+	if len(cd.Diffs) != 3 {
+		t.Fatalf("classes = %d, want 3", len(cd.Diffs))
+	}
+	if len(cd.Diffs[0]) != 1 {
+		t.Fatalf("expected exactly one detected fault, got %d", len(cd.Diffs[0]))
+	}
+	if cd.Diffs[0][0] <= 0 {
+		t.Error("saturated output neuron must change its class count")
+	}
+	// All class lists stay parallel (one entry per detected fault).
+	if len(cd.Diffs[1]) != 1 || len(cd.Diffs[2]) != 1 {
+		t.Error("per-class lists must be parallel")
+	}
+}
+
+func TestOutputSpikeDiffsSkipsUndetected(t *testing.T) {
+	net := toyNet(5)
+	// Zero stimulus: a hidden dead-neuron fault is invisible.
+	faults := []fault.Fault{{Kind: fault.NeuronDead, Layer: 0, Neuron: 0}}
+	cd := OutputSpikeDiffs(net, faults, net.ZeroInput(10))
+	if len(cd.Diffs[0]) != 0 {
+		t.Error("undetected fault must not contribute to the distribution")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, width := Histogram([]float64{0.5, 1.5, 2.5, 9.5, 100}, 5, 10)
+	if width != 2 {
+		t.Errorf("bin width = %g, want 2", width)
+	}
+	want := []int{2, 1, 0, 0, 2} // 100 clamps into the last bin
+	for i, c := range want {
+		if counts[i] != c {
+			t.Errorf("bin %d = %d, want %d", i, counts[i], c)
+		}
+	}
+	if c, _ := Histogram(nil, 0, 10); len(c) != 0 {
+		t.Error("zero bins should return empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(vals, 0.5); p != 3 {
+		t.Errorf("median = %g, want 3", p)
+	}
+	if p := Percentile(vals, 1.0); p != 5 {
+		t.Errorf("max = %g, want 5", p)
+	}
+	if p := Percentile(vals, 0.0); p != 1 {
+		t.Errorf("p0 = %g, want 1 (nearest rank clamps)", p)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	net := toyNet(6)
+	if s := DurationSeconds(net, 2500); math.Abs(s-2.5) > 1e-12 {
+		t.Errorf("2500 steps at 1 ms = %g s, want 2.5", s)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Error("empty sample must be maximally uncertain")
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("interval [%g,%g] must bracket the point estimate", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide for n=100: [%g,%g]", lo, hi)
+	}
+	// More samples → tighter interval.
+	lo2, hi2 := WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi-lo {
+		t.Error("interval must shrink with sample size")
+	}
+	// Boundary cases stay within [0,1].
+	lo, hi = WilsonInterval(100, 100)
+	if hi != 1 || lo < 0.9 {
+		t.Errorf("perfect coverage interval [%g,%g]", lo, hi)
+	}
+}

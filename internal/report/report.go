@@ -1,0 +1,183 @@
+// Package report renders the experiment artifacts as text: aligned
+// tables (Tables I–IV), ASCII activation heatmaps (Fig. 8), stimulus
+// snapshots (Fig. 7) and spike-count-difference histograms (Fig. 9), plus
+// CSV output for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Table writes an aligned text table with a title, header row and data
+// rows.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	fmt.Fprintln(w, line(headers))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range rows {
+		fmt.Fprintln(w, line(r))
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes headers and rows in comma-separated form, quoting cells that
+// contain commas.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	for _, r := range rows {
+		writeRow(r)
+	}
+}
+
+// shades maps an intensity in [0,1] to an ASCII shade.
+var shades = []byte(" .:-=+*#%@")
+
+// shade returns the ASCII character for intensity v ∈ [0,1].
+func shade(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v * float64(len(shades)-1))
+	return shades[i]
+}
+
+// ActivationGrid renders a boolean activation vector as a rectangular
+// ASCII grid of the given width ('#' activated, '.' silent) — one layer
+// of the paper's Fig. 8 custom grid layout.
+func ActivationGrid(w io.Writer, name string, activated []bool, width int) {
+	if width <= 0 {
+		width = 32
+	}
+	act := 0
+	for _, a := range activated {
+		if a {
+			act++
+		}
+	}
+	fmt.Fprintf(w, "%s: %d/%d activated (%.1f%%)\n", name, act, len(activated), 100*float64(act)/float64(max(1, len(activated))))
+	for i := 0; i < len(activated); i += width {
+		var b strings.Builder
+		for j := i; j < i+width && j < len(activated); j++ {
+			if activated[j] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// FrameSnapshot renders one [2,H,W] polarity event frame: '+' for ON
+// events, '-' for OFF events, '*' where both fire — the paper's Fig. 7
+// stimulus snapshots (blue/red dots in the original).
+func FrameSnapshot(w io.Writer, frame *tensor.Tensor, label string) {
+	if frame.Rank() != 3 || frame.Dim(0) != 2 {
+		// Non-DVS frames render as a single-row intensity strip.
+		fmt.Fprintf(w, "%s\n", label)
+		var b strings.Builder
+		for _, v := range frame.Data() {
+			b.WriteByte(shade(v))
+		}
+		fmt.Fprintln(w, b.String())
+		return
+	}
+	h, wd := frame.Dim(1), frame.Dim(2)
+	fmt.Fprintf(w, "%s\n", label)
+	for y := 0; y < h; y++ {
+		var b strings.Builder
+		for x := 0; x < wd; x++ {
+			on := frame.At(0, y, x) == 1
+			off := frame.At(1, y, x) == 1
+			switch {
+			case on && off:
+				b.WriteByte('*')
+			case on:
+				b.WriteByte('+')
+			case off:
+				b.WriteByte('-')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// HistogramChart renders bin counts as a horizontal ASCII bar chart with
+// bin-range labels.
+func HistogramChart(w io.Writer, title string, counts []int, binWidth float64) {
+	fmt.Fprintln(w, title)
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	const barMax = 50
+	for i, c := range counts {
+		bar := c * barMax / maxCount
+		fmt.Fprintf(w, "  [%6.1f,%6.1f) %s %d\n",
+			float64(i)*binWidth, float64(i+1)*binWidth, strings.Repeat("█", bar), c)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+
+	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+func benchStimulus(net *Network, steps int) *tensor.Tensor {
+	return tensor.RandBernoulli(rand.New(rand.NewSource(1)), 0.2,
+		append([]int{steps}, net.InShape...)...)
+}
+
+func BenchmarkRunFastNMNISTTiny(b *testing.B) {
+	net := BuildNMNIST(rand.New(rand.NewSource(1)), ScaleTiny)
+	stim := benchStimulus(net, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(stim)
+	}
+}
+
+func BenchmarkRunFastIBMSmall(b *testing.B) {
+	net := BuildIBMGesture(rand.New(rand.NewSource(2)), ScaleSmall)
+	stim := benchStimulus(net, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(stim)
+	}
+}
+
+func BenchmarkRunGraphBPTT(b *testing.B) {
+	net := BuildSHD(rand.New(rand.NewSource(3)), ScaleTiny)
+	stim := benchStimulus(net, 30)
+	frame := net.InputLen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf := ag.Leaf(stim.Clone().Reshape(30 * frame))
+		steps := make([]*ag.Node, 30)
+		for t := 0; t < 30; t++ {
+			steps[t] = ag.STE(ag.Slice(leaf, t*frame, frame, net.InShape...), 0.5)
+		}
+		res := net.RunGraph(steps)
+		ag.Backward(ag.Sum(res.LayerCounts(res.OutputLayer())))
+	}
+}
+
+func BenchmarkCloneIBMSmall(b *testing.B) {
+	net := BuildIBMGesture(rand.New(rand.NewSource(4)), ScaleSmall)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Clone()
+	}
+}

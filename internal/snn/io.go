@@ -1,0 +1,82 @@
+package snn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// weightsFile is the serialized form of a network's trainable state: one
+// flat float64 slice per weight tensor, in layer order (recurrent layers
+// contribute W then R).
+type weightsFile struct {
+	Name    string
+	Tensors [][]float64
+}
+
+// weightTensors lists the network's weight tensors in canonical order.
+func (n *Network) weightTensors() [][]float64 {
+	var out [][]float64
+	for _, l := range n.Layers {
+		if w := l.Proj.Weights(); w != nil {
+			out = append(out, w.Data())
+		}
+		if r, ok := l.Proj.(*RecurrentProj); ok {
+			out = append(out, r.R.Data())
+		}
+	}
+	return out
+}
+
+// SaveWeights writes the network's weights to w with encoding/gob.
+func (n *Network) SaveWeights(w io.Writer) error {
+	f := weightsFile{Name: n.Name}
+	for _, t := range n.weightTensors() {
+		f.Tensors = append(f.Tensors, t)
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// LoadWeights reads weights previously written by SaveWeights into the
+// network, which must have the identical architecture.
+func (n *Network) LoadWeights(r io.Reader) error {
+	var f weightsFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("snn: decoding weights: %w", err)
+	}
+	ts := n.weightTensors()
+	if len(f.Tensors) != len(ts) {
+		return fmt.Errorf("snn: weight file has %d tensors, network %q expects %d", len(f.Tensors), n.Name, len(ts))
+	}
+	for i, dst := range ts {
+		if len(f.Tensors[i]) != len(dst) {
+			return fmt.Errorf("snn: weight tensor %d has %d elements, expected %d", i, len(f.Tensors[i]), len(dst))
+		}
+		copy(dst, f.Tensors[i])
+	}
+	return nil
+}
+
+// SaveWeightsFile writes the network's weights to the named file.
+func (n *Network) SaveWeightsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := n.SaveWeights(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWeightsFile reads weights from the named file.
+func (n *Network) LoadWeightsFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.LoadWeights(f)
+}

@@ -1,0 +1,201 @@
+package snn
+
+import (
+	"testing"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// singleNeuron builds a 1-input → 1-neuron network with weight w and the
+// given LIF parameters, the minimal rig for checking neuron dynamics.
+func singleNeuron(w float64, lif LIFParams) *Network {
+	proj := NewDenseProj(tensor.FromSlice([]float64{w}, 1, 1))
+	return NewNetwork("single", []int{1}, 1.0, NewLayer("n", proj, lif))
+}
+
+// constantInput returns a stimulus of t steps with every input element 1.
+func constantInput(n *Network, t int) *tensor.Tensor {
+	return tensor.Full(1, append([]int{t}, n.InShape...)...)
+}
+
+func TestLIFIntegratesToThreshold(t *testing.T) {
+	// w=0.4, leak=1, θ=1: membrane reaches 1.2 on step 3 → first spike at
+	// step index 2 (potential must strictly exceed θ).
+	net := singleNeuron(0.4, LIFParams{Threshold: 1, Leak: 1, Refractory: 0})
+	rec := net.Run(constantInput(net, 4))
+	train := rec.NeuronTrain(0, 0)
+	want := []float64{0, 0, 1, 0} // reset after the spike, 0.4 on step 4
+	for i, w := range want {
+		if train.Data()[i] != w {
+			t.Fatalf("spike train = %v, want %v", train.Data(), want)
+		}
+	}
+}
+
+func TestLIFStrictThreshold(t *testing.T) {
+	// Potential exactly equal to θ must not fire.
+	net := singleNeuron(1.0, LIFParams{Threshold: 1, Leak: 1, Refractory: 0})
+	rec := net.Run(constantInput(net, 1))
+	if rec.NeuronTrain(0, 0).Data()[0] != 0 {
+		t.Error("neuron fired at u == θ; threshold must be strict")
+	}
+}
+
+func TestLIFLeakDecay(t *testing.T) {
+	// One strong pulse below threshold, then silence: membrane decays
+	// geometrically and never fires.
+	net := singleNeuron(0.9, LIFParams{Threshold: 1, Leak: 0.5, Refractory: 0})
+	in := net.ZeroInput(5)
+	in.Set(1, 0, 0) // single spike at t=0
+	rec := net.Run(in)
+	if tensor.Sum(rec.Layers[0]) != 0 {
+		t.Error("sub-threshold input must not cause spikes")
+	}
+}
+
+func TestLIFLeakAccumulationMatchesClosedForm(t *testing.T) {
+	// With constant drive w and leak λ, u_t = w·(1−λ^{t+1})/(1−λ) until
+	// the first spike; λ=0.5, w=0.6 converges to 1.2 > 1, so the neuron
+	// fires when the partial sum exceeds 1: u_0=0.6, u_1=0.9, u_2=1.05 → spike at t=2.
+	net := singleNeuron(0.6, LIFParams{Threshold: 1, Leak: 0.5, Refractory: 0})
+	rec := net.Run(constantInput(net, 3))
+	want := []float64{0, 0, 1}
+	for i, w := range want {
+		if rec.NeuronTrain(0, 0).Data()[i] != w {
+			t.Fatalf("train = %v, want %v", rec.NeuronTrain(0, 0).Data(), want)
+		}
+	}
+}
+
+func TestLIFResetAfterSpike(t *testing.T) {
+	// w=1.1 fires every step when refractory=0 (reset to zero, then the
+	// next step's input alone crosses θ again).
+	net := singleNeuron(1.1, LIFParams{Threshold: 1, Leak: 1, Refractory: 0})
+	rec := net.Run(constantInput(net, 4))
+	if got := tensor.Sum(rec.Layers[0]); got != 4 {
+		t.Errorf("spike count = %g, want 4 (fire every step)", got)
+	}
+}
+
+func TestLIFRefractoryPeriodSilences(t *testing.T) {
+	// Refractory = 2: after each spike the neuron is silent for exactly 2
+	// steps and integrates nothing during them.
+	net := singleNeuron(1.1, LIFParams{Threshold: 1, Leak: 1, Refractory: 2})
+	rec := net.Run(constantInput(net, 9))
+	train := rec.NeuronTrain(0, 0).Data()
+	want := []float64{1, 0, 0, 1, 0, 0, 1, 0, 0}
+	for i, w := range want {
+		if train[i] != w {
+			t.Fatalf("train = %v, want %v", train, want)
+		}
+	}
+}
+
+func TestLIFRefractoryDropsInput(t *testing.T) {
+	// Input arriving during refractoriness is lost, not buffered: after
+	// the refractory window the membrane restarts from zero. This is the
+	// information-loss mechanism stage 2 of the paper works around.
+	net := singleNeuron(0.6, LIFParams{Threshold: 1, Leak: 1, Refractory: 1})
+	// Drive: spikes at t=0..4. u: 0.6, spike at t=1 (1.2), refractory at
+	// t=2 (input dropped), then 0.6 at t=3, 1.2 → spike at t=4.
+	rec := net.Run(constantInput(net, 5))
+	train := rec.NeuronTrain(0, 0).Data()
+	want := []float64{0, 1, 0, 0, 1}
+	for i, w := range want {
+		if train[i] != w {
+			t.Fatalf("train = %v, want %v", train, want)
+		}
+	}
+}
+
+func TestDeadNeuronNeverFires(t *testing.T) {
+	net := singleNeuron(5, LIFParams{Threshold: 1, Leak: 1, Refractory: 0})
+	net.Layers[0].SetNeuronMode(0, NeuronDead)
+	rec := net.Run(constantInput(net, 10))
+	if tensor.Sum(rec.Layers[0]) != 0 {
+		t.Error("dead neuron fired")
+	}
+}
+
+func TestSaturatedNeuronFiresNonStop(t *testing.T) {
+	// Saturated neuron fires every step even with zero input.
+	net := singleNeuron(0, LIFParams{Threshold: 1, Leak: 1, Refractory: 3})
+	net.Layers[0].SetNeuronMode(0, NeuronSaturated)
+	rec := net.Run(net.ZeroInput(10))
+	if got := tensor.Sum(rec.Layers[0]); got != 10 {
+		t.Errorf("saturated neuron spike count = %g, want 10", got)
+	}
+}
+
+func TestPerNeuronThresholdOverride(t *testing.T) {
+	// Two neurons share an input; raising one's threshold delays it.
+	proj := NewDenseProj(tensor.FromSlice([]float64{0.6, 0.6}, 2, 1))
+	net := NewNetwork("two", []int{1}, 1.0,
+		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	net.Layers[0].SetNeuronThreshold(1, 2.3)
+	rec := net.Run(constantInput(net, 4))
+	c := rec.Counts(0)
+	if !(c.At(0) > c.At(1)) {
+		t.Errorf("higher threshold should reduce spike count: counts %v", c)
+	}
+	if c.At(1) == 0 {
+		t.Error("overridden neuron should still eventually fire (0.6·4 = 2.4 > 2.3)")
+	}
+}
+
+func TestPerNeuronLeakOverride(t *testing.T) {
+	proj := NewDenseProj(tensor.FromSlice([]float64{0.4, 0.4}, 2, 1))
+	net := NewNetwork("two", []int{1}, 1.0,
+		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	net.Layers[0].SetNeuronLeak(1, 0.1) // heavy leak: 0.4/(1-0.1·...) stays below θ
+	rec := net.Run(constantInput(net, 10))
+	c := rec.Counts(0)
+	if c.At(0) == 0 {
+		t.Fatal("healthy neuron should fire")
+	}
+	if c.At(1) != 0 {
+		t.Error("leaky neuron reaches at most 0.4/(1−0.1)·≈0.44 < θ and must stay silent")
+	}
+}
+
+func TestPerNeuronRefractoryOverride(t *testing.T) {
+	proj := NewDenseProj(tensor.FromSlice([]float64{1.1, 1.1}, 2, 1))
+	net := NewNetwork("two", []int{1}, 1.0,
+		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	net.Layers[0].SetNeuronRefractory(1, 4)
+	rec := net.Run(constantInput(net, 10))
+	c := rec.Counts(0)
+	if c.At(0) != 10 {
+		t.Errorf("neuron 0 should fire every step, got %g", c.At(0))
+	}
+	if c.At(1) != 2 {
+		t.Errorf("neuron 1 fires at t=0 and t=5 only, got %g", c.At(1))
+	}
+}
+
+func TestLIFParamsValidate(t *testing.T) {
+	bad := []LIFParams{
+		{Threshold: 0, Leak: 0.9, Refractory: 1},
+		{Threshold: -1, Leak: 0.9, Refractory: 1},
+		{Threshold: 1, Leak: 0, Refractory: 1},
+		{Threshold: 1, Leak: 1.5, Refractory: 1},
+		{Threshold: 1, Leak: 0.9, Refractory: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: %+v should fail validation", i, p)
+		}
+	}
+	if DefaultLIF().Validate() != nil {
+		t.Error("DefaultLIF must validate")
+	}
+}
+
+func TestNeuronModeString(t *testing.T) {
+	if NeuronNormal.String() != "normal" || NeuronDead.String() != "dead" || NeuronSaturated.String() != "saturated" {
+		t.Error("NeuronMode.String mismatch")
+	}
+	if NeuronMode(99).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}

@@ -1,0 +1,222 @@
+package snn
+
+import (
+	"fmt"
+
+	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Network is a feedforward stack of spiking layers (recurrent projections
+// loop within a layer). The input is a spatio-temporal binary tensor of
+// shape [T, InShape...]; each step's frame propagates through every layer
+// before the next step begins, matching the synchronous time-stepped
+// semantics of SLAYER-style simulators.
+type Network struct {
+	Name   string
+	Layers []*Layer
+	// InShape is the spatial shape of one input frame, e.g. [2,34,34] for
+	// a DVS sensor or [700] for audio channels.
+	InShape []int
+	// StepMS is the real time represented by one simulation step, in
+	// milliseconds; it converts step counts into the paper's test-duration
+	// seconds.
+	StepMS float64
+}
+
+// NewNetwork validates layer shape compatibility and returns the network.
+func NewNetwork(name string, inShape []int, stepMS float64, layers ...*Layer) *Network {
+	if len(layers) == 0 {
+		panic("snn: network needs at least one layer")
+	}
+	prev := inShape
+	for _, l := range layers {
+		in := l.Proj.InShape()
+		if flatLen(in) != flatLen(prev) {
+			panic(fmt.Sprintf("snn: layer %q expects input %v but receives %v", l.Name, in, prev))
+		}
+		prev = l.Proj.OutShape()
+	}
+	return &Network{Name: name, Layers: layers, InShape: append([]int(nil), inShape...), StepMS: stepMS}
+}
+
+func flatLen(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// InputLen returns the flattened size of one input frame.
+func (n *Network) InputLen() int { return flatLen(n.InShape) }
+
+// OutputLen returns the number of output-layer neurons (classes).
+func (n *Network) OutputLen() int { return n.Layers[len(n.Layers)-1].NumNeurons() }
+
+// NumNeurons returns the total neuron count across layers.
+func (n *Network) NumNeurons() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.NumNeurons()
+	}
+	return total
+}
+
+// NumSynapses returns the total faultable synapse count across layers.
+func (n *Network) NumSynapses() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.NumSynapses()
+	}
+	return total
+}
+
+// LayerOffsets returns, per layer, the global index of its first neuron;
+// fault enumeration and the activated-neuron bookkeeping use these global
+// neuron ids.
+func (n *Network) LayerOffsets() []int {
+	offs := make([]int, len(n.Layers))
+	off := 0
+	for i, l := range n.Layers {
+		offs[i] = off
+		off += l.NumNeurons()
+	}
+	return offs
+}
+
+// Clone deep-copies the network (weights and fault overrides included).
+func (n *Network) Clone() *Network {
+	layers := make([]*Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.Clone()
+	}
+	return &Network{
+		Name:    n.Name,
+		Layers:  layers,
+		InShape: append([]int(nil), n.InShape...),
+		StepMS:  n.StepMS,
+	}
+}
+
+// HasFaultOverrides reports whether any layer carries per-neuron fault
+// overrides.
+func (n *Network) HasFaultOverrides() bool {
+	for _, l := range n.Layers {
+		if l.HasFaultOverrides() {
+			return true
+		}
+	}
+	return false
+}
+
+// ParamLeaves switches every weighted projection into training mode and
+// returns all weight leaf nodes, ready for an optimizer.
+func (n *Network) ParamLeaves() []*ag.Node {
+	var leaves []*ag.Node
+	for _, l := range n.Layers {
+		leaves = append(leaves, l.Proj.ParamLeaves()...)
+	}
+	return leaves
+}
+
+// ZeroInput returns an all-zero stimulus of t steps, the "sleep" input the
+// paper inserts between optimized chunks (Eq. 7).
+func (n *Network) ZeroInput(t int) *tensor.Tensor {
+	return tensor.New(append([]int{t}, n.InShape...)...)
+}
+
+// CheckInput panics unless input has shape [T, InShape...] with T ≥ 1 and
+// binary entries are not verified (callers own that invariant).
+func (n *Network) CheckInput(input *tensor.Tensor) int {
+	shape := input.Shape()
+	if len(shape) != len(n.InShape)+1 || shape[0] < 1 {
+		panic(fmt.Sprintf("snn: input shape %v does not match [T, %v]", shape, n.InShape))
+	}
+	for i, d := range n.InShape {
+		if shape[i+1] != d {
+			panic(fmt.Sprintf("snn: input shape %v does not match [T, %v]", shape, n.InShape))
+		}
+	}
+	return shape[0]
+}
+
+// fastLayerState is the mutable per-layer simulation state of the fast path.
+type fastLayerState struct {
+	u         []float64 // membrane potentials
+	lastSpike []float64 // previous step's output spikes
+	refrac    []int     // remaining refractory steps
+	outShape  []int
+}
+
+// Run simulates the network on the stimulus (shape [T, InShape...]) from a
+// fresh state and records every neuron's output spike train. This is the
+// fast, non-differentiable path used for inference and fault simulation.
+func (n *Network) Run(input *tensor.Tensor) *Record {
+	steps := n.CheckInput(input)
+	states := make([]*fastLayerState, len(n.Layers))
+	for i, l := range n.Layers {
+		nn := l.NumNeurons()
+		states[i] = &fastLayerState{
+			u:         make([]float64, nn),
+			lastSpike: make([]float64, nn),
+			refrac:    make([]int, nn),
+			outShape:  l.Proj.OutShape(),
+		}
+	}
+	rec := NewRecord(n, steps)
+	frame := flatLen(n.InShape)
+	for t := 0; t < steps; t++ {
+		in := tensor.FromSlice(input.Data()[t*frame:(t+1)*frame], n.InShape...)
+		for li, l := range n.Layers {
+			st := states[li]
+			var lastOut *tensor.Tensor
+			if _, ok := l.Proj.(*RecurrentProj); ok {
+				lastOut = tensor.FromSlice(st.lastSpike, l.NumNeurons())
+			}
+			cur := l.Proj.Forward(in, lastOut)
+			cd := cur.Data()
+			out := rec.Layers[li].Data()[t*len(cd) : (t+1)*len(cd)]
+			for i := range cd {
+				var s float64
+				switch l.mode(i) {
+				case NeuronDead:
+					// Halts propagation: never fires. Membrane bookkeeping
+					// is irrelevant downstream; keep it reset.
+					st.u[i] = 0
+				case NeuronSaturated:
+					// Fires non-stop regardless of input or refractoriness.
+					s = 1
+					st.u[i] = 0
+				default:
+					gate := 1.0
+					if st.refrac[i] > 0 {
+						gate = 0
+					}
+					u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + cd[i])
+					if u > l.threshold(i) {
+						s = 1
+					}
+					st.u[i] = u
+					if st.refrac[i] > 0 {
+						st.refrac[i]--
+					} else if s == 1 {
+						st.refrac[i] = l.refractory(i)
+					}
+				}
+				out[i] = s
+				st.lastSpike[i] = s
+			}
+			in = tensor.FromSlice(out, st.outShape...)
+		}
+	}
+	return rec
+}
+
+// Predict runs the network on the stimulus and returns the rate-decoded
+// class: the output neuron with the highest spike count (ties break to the
+// lowest index).
+func (n *Network) Predict(input *tensor.Tensor) int {
+	rec := n.Run(input)
+	return tensor.ArgMax(rec.Counts(len(n.Layers) - 1))
+}

@@ -1,0 +1,80 @@
+// Package snn implements a discrete-time spiking neural network simulator
+// built around the Leaky Integrate-and-Fire (LIF) neuron model, with two
+// interchangeable execution paths:
+//
+//   - a fast inference path over plain tensors, used for dataset
+//     evaluation and for the fault-simulation campaigns whose cost the
+//     paper's algorithm is designed to avoid, and
+//   - a differentiable path over autograd nodes using surrogate spike
+//     gradients (SLAYER-style), used for training and for the paper's
+//     input-optimization test generation.
+//
+// Both paths implement the exact same forward dynamics, so the spike
+// trains they produce are bit-identical; a test asserts this invariant.
+//
+// The membrane update per step t for neuron i is
+//
+//	u[t] = gate·(leak·u[t-1]·(1 − s[t-1]) + I[t])
+//	s[t] = 1 if u[t] > threshold else 0
+//
+// where gate is 0 while the neuron is refractory (it then integrates
+// nothing and emits nothing) and the (1 − s[t-1]) factor implements
+// reset-to-zero after a spike.
+package snn
+
+import "fmt"
+
+// LIFParams are the layer-default Leaky Integrate-and-Fire neuron
+// parameters. Individual neurons may override them (see Layer), which is
+// how parametric "timing variation" faults are injected.
+type LIFParams struct {
+	Threshold  float64 // firing threshold θ (> 0)
+	Leak       float64 // membrane retention per step, in (0, 1]
+	Refractory int     // refractory period in steps after a spike, ≥ 0
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p LIFParams) Validate() error {
+	if p.Threshold <= 0 {
+		return fmt.Errorf("snn: threshold must be positive, got %g", p.Threshold)
+	}
+	if p.Leak <= 0 || p.Leak > 1 {
+		return fmt.Errorf("snn: leak must be in (0,1], got %g", p.Leak)
+	}
+	if p.Refractory < 0 {
+		return fmt.Errorf("snn: refractory must be ≥ 0, got %d", p.Refractory)
+	}
+	return nil
+}
+
+// DefaultLIF returns the parameter set used by the benchmark models.
+func DefaultLIF() LIFParams {
+	return LIFParams{Threshold: 1.0, Leak: 0.9, Refractory: 1}
+}
+
+// NeuronMode selects the behavioural state of a neuron, used to model the
+// extreme neuron faults of Section III.
+type NeuronMode uint8
+
+const (
+	// NeuronNormal is fault-free LIF behaviour.
+	NeuronNormal NeuronMode = iota
+	// NeuronDead halts spike propagation: the neuron never fires.
+	NeuronDead
+	// NeuronSaturated fires non-stop, at every time step, regardless of
+	// input activity or refractoriness.
+	NeuronSaturated
+)
+
+func (m NeuronMode) String() string {
+	switch m {
+	case NeuronNormal:
+		return "normal"
+	case NeuronDead:
+		return "dead"
+	case NeuronSaturated:
+		return "saturated"
+	default:
+		return fmt.Sprintf("NeuronMode(%d)", uint8(m))
+	}
+}

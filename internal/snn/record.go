@@ -1,0 +1,101 @@
+package snn
+
+import (
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Record holds the output spike trains of every neuron in every layer for
+// one simulation run: Layers[ℓ] has shape [T, Nℓ] with binary entries —
+// the O^{ℓi} trains of the paper, stored step-major.
+type Record struct {
+	Steps  int
+	Layers []*tensor.Tensor
+}
+
+// NewRecord allocates an all-zero record for the network over the given
+// number of steps.
+func NewRecord(n *Network, steps int) *Record {
+	r := &Record{Steps: steps, Layers: make([]*tensor.Tensor, len(n.Layers))}
+	for i, l := range n.Layers {
+		r.Layers[i] = tensor.New(steps, l.NumNeurons())
+	}
+	return r
+}
+
+// Counts returns the per-neuron spike counts |O^{ℓi}| of layer ℓ.
+func (r *Record) Counts(layer int) *tensor.Tensor {
+	return tensor.SumCols(r.Layers[layer])
+}
+
+// Output returns the output layer's spike trains, shape [T, N^L].
+func (r *Record) Output() *tensor.Tensor {
+	return r.Layers[len(r.Layers)-1]
+}
+
+// OutputCounts returns the output layer's per-class spike counts.
+func (r *Record) OutputCounts() *tensor.Tensor {
+	return r.Counts(len(r.Layers) - 1)
+}
+
+// NeuronTrain returns a copy of neuron i's spike train in layer ℓ as a
+// length-T vector.
+func (r *Record) NeuronTrain(layer, i int) *tensor.Tensor {
+	lt := r.Layers[layer]
+	t := tensor.New(r.Steps)
+	n := lt.Dim(1)
+	for s := 0; s < r.Steps; s++ {
+		t.Data()[s] = lt.Data()[s*n+i]
+	}
+	return t
+}
+
+// ActivatedNeurons returns the set of globally indexed neurons that fired
+// at least minSpikes spikes, using the network's layer offsets.
+func (r *Record) ActivatedNeurons(offsets []int, minSpikes float64) map[int]bool {
+	act := make(map[int]bool)
+	for li, lt := range r.Layers {
+		counts := tensor.SumCols(lt)
+		for i, c := range counts.Data() {
+			if c >= minSpikes {
+				act[offsets[li]+i] = true
+			}
+		}
+	}
+	return act
+}
+
+// TotalSpikes returns the total number of spikes across all layers.
+func (r *Record) TotalSpikes() float64 {
+	s := 0.0
+	for _, lt := range r.Layers {
+		s += tensor.Sum(lt)
+	}
+	return s
+}
+
+// OutputDiffL1 returns ‖O^L − other.O^L‖₁, the paper's fault-detection
+// statistic (Eq. 3). The records must cover the same step count and
+// output width.
+func (r *Record) OutputDiffL1(other *Record) float64 {
+	return tensor.L1Diff(r.Output(), other.Output())
+}
+
+// TemporalDiversity returns, for each neuron of layer ℓ, the number of
+// state changes of its output train (Eq. 11).
+func (r *Record) TemporalDiversity(layer int) *tensor.Tensor {
+	lt := r.Layers[layer]
+	n := lt.Dim(1)
+	td := tensor.New(n)
+	for s := 1; s < r.Steps; s++ {
+		prev := lt.Data()[(s-1)*n : s*n]
+		cur := lt.Data()[s*n : (s+1)*n]
+		for i := 0; i < n; i++ {
+			d := cur[i] - prev[i]
+			if d < 0 {
+				d = -d
+			}
+			td.Data()[i] += d
+		}
+	}
+	return td
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes the geometry of a 2-D convolution or pooling window.
+type ConvSpec struct {
+	Stride int // window step, ≥ 1
+	Pad    int // zero padding on each spatial border, ≥ 0
+}
+
+// ConvOutDim returns the output spatial size for an input of size in with a
+// kernel of size k under the given stride and padding.
+func ConvOutDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// Conv2D computes the cross-correlation of input x [inC,H,W] with kernel
+// w [outC,inC,kH,kW], producing [outC,outH,outW]. Stride and padding follow
+// the usual CNN convention; bias is not applied (spiking layers have none).
+func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	if x.Rank() != 3 || w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires input rank 3 and kernel rank 4, got %v and %v", x.shape, w.shape))
+	}
+	inC, h, wd := x.shape[0], x.shape[1], x.shape[2]
+	outC, kc, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	if kc != inC {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v kernel %v", x.shape, w.shape))
+	}
+	oh := ConvOutDim(h, kh, spec.Stride, spec.Pad)
+	ow := ConvOutDim(wd, kw, spec.Stride, spec.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for input %v kernel %v spec %+v", x.shape, w.shape, spec))
+	}
+	out := New(outC, oh, ow)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				iy0 := oy*spec.Stride - spec.Pad
+				ix0 := ox*spec.Stride - spec.Pad
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xrow := x.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+						wrow := w.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							s += xrow[ix] * wrow[kx]
+						}
+					}
+				}
+				out.data[(oc*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackwardInput returns ∂L/∂x given upstream gradient g [outC,outH,outW]
+// for Conv2D(x, w, spec) with input shape [inC,H,W].
+func Conv2DBackwardInput(g, w *Tensor, inShape []int, spec ConvSpec) *Tensor {
+	inC, h, wd := inShape[0], inShape[1], inShape[2]
+	outC, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh, ow := g.shape[1], g.shape[2]
+	dx := New(inC, h, wd)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := g.data[(oc*oh+oy)*ow+ox]
+				if gv == 0 {
+					continue
+				}
+				iy0 := oy*spec.Stride - spec.Pad
+				ix0 := ox*spec.Stride - spec.Pad
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						drow := dx.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+						wrow := w.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							drow[ix] += gv * wrow[kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Conv2DBackwardKernel returns ∂L/∂w given upstream gradient g
+// [outC,outH,outW] for Conv2D(x, w, spec) with kernel shape kShape.
+func Conv2DBackwardKernel(g, x *Tensor, kShape []int, spec ConvSpec) *Tensor {
+	outC, inC, kh, kw := kShape[0], kShape[1], kShape[2], kShape[3]
+	h, wd := x.shape[1], x.shape[2]
+	oh, ow := g.shape[1], g.shape[2]
+	dw := New(outC, inC, kh, kw)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := g.data[(oc*oh+oy)*ow+ox]
+				if gv == 0 {
+					continue
+				}
+				iy0 := oy*spec.Stride - spec.Pad
+				ix0 := ox*spec.Stride - spec.Pad
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xrow := x.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+						wrow := dw.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							wrow[kx] += gv * xrow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dw
+}
+
+// SumPool2D sums non-overlapping k×k windows of x [C,H,W] per channel,
+// producing [C,H/k,W/k]. H and W must be divisible by k.
+func SumPool2D(x *Tensor, k int) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: SumPool2D requires rank-3 input, got %v", x.shape))
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("tensor: SumPool2D input %v not divisible by window %d", x.shape, k))
+	}
+	oh, ow := h/k, w/k
+	out := New(c, oh, ow)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				for ky := 0; ky < k; ky++ {
+					row := x.data[(ci*h+oy*k+ky)*w : (ci*h+oy*k+ky+1)*w]
+					for kx := 0; kx < k; kx++ {
+						s += row[ox*k+kx]
+					}
+				}
+				out.data[(ci*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// SumPool2DBackward distributes upstream gradient g [C,H/k,W/k] back over
+// the k×k windows of the input shape [C,H,W].
+func SumPool2DBackward(g *Tensor, inShape []int, k int) *Tensor {
+	c, h, w := inShape[0], inShape[1], inShape[2]
+	oh, ow := g.shape[1], g.shape[2]
+	dx := New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := g.data[(ci*oh+oy)*ow+ox]
+				if gv == 0 {
+					continue
+				}
+				for ky := 0; ky < k; ky++ {
+					row := dx.data[(ci*h+oy*k+ky)*w : (ci*h+oy*k+ky+1)*w]
+					for kx := 0; kx < k; kx++ {
+						row[ox*k+kx] += gv
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

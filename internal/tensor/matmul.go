@@ -1,0 +1,105 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product of a (m×k) and b (k×n) as an m×n tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns w·x for a weight matrix w (out×in) and vector x (in).
+func MatVec(w, x *Tensor) *Tensor {
+	if w.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatVec requires rank-2 matrix, got %v", w.shape))
+	}
+	rows, cols := w.shape[0], w.shape[1]
+	if x.Len() != cols {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v · %v", w.shape, x.shape))
+	}
+	out := New(rows)
+	xd := x.data
+	for i := 0; i < rows; i++ {
+		wrow := w.data[i*cols : (i+1)*cols]
+		s := 0.0
+		for j, xv := range xd {
+			s += wrow[j] * xv
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// MatVecT returns wᵀ·g for a weight matrix w (out×in) and vector g (out):
+// the gradient of MatVec(w, x) with respect to x.
+func MatVecT(w, g *Tensor) *Tensor {
+	rows, cols := w.shape[0], w.shape[1]
+	if g.Len() != rows {
+		panic(fmt.Sprintf("tensor: MatVecT dimension mismatch %vᵀ · %v", w.shape, g.shape))
+	}
+	out := New(cols)
+	for i := 0; i < rows; i++ {
+		gv := g.data[i]
+		if gv == 0 {
+			continue
+		}
+		wrow := w.data[i*cols : (i+1)*cols]
+		for j := 0; j < cols; j++ {
+			out.data[j] += wrow[j] * gv
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product g⊗x as a len(g)×len(x) matrix: the
+// gradient of MatVec(w, x) with respect to w.
+func Outer(g, x *Tensor) *Tensor {
+	rows, cols := g.Len(), x.Len()
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		gv := g.data[i]
+		if gv == 0 {
+			continue
+		}
+		orow := out.data[i*cols : (i+1)*cols]
+		for j := 0; j < cols; j++ {
+			orow[j] = gv * x.data[j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length tensors.
+func Dot(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %v vs %v", a.shape, b.shape))
+	}
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}

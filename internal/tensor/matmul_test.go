@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "MatMul inner mismatch")
+	MatMul(New(2, 3), New(2, 2))
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, 4, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	if !Equal(MatMul(a, id), a, 1e-12) {
+		t.Error("A·I ≠ A")
+	}
+	if !Equal(MatMul(id, a), a, 1e-12) {
+		t.Error("I·A ≠ A")
+	}
+}
+
+func TestMatVecAgainstMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := RandNormal(rng, 0, 1, 5, 3)
+	x := RandNormal(rng, 0, 1, 3)
+	got := MatVec(w, x)
+	want := MatMul(w, x.Reshape(3, 1)).Reshape(5)
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("MatVec = %v, want %v", got, want)
+	}
+}
+
+func TestMatVecTIsTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := RandNormal(rng, 0, 1, 4, 6)
+	g := RandNormal(rng, 0, 1, 4)
+	got := MatVecT(w, g)
+	// Reference: explicit transpose multiply.
+	want := New(6)
+	for j := 0; j < 6; j++ {
+		s := 0.0
+		for i := 0; i < 4; i++ {
+			s += w.At(i, j) * g.At(i)
+		}
+		want.Set(s, j)
+	}
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("MatVecT = %v, want %v", got, want)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	g := vec(1, 2)
+	x := vec(3, 4, 5)
+	got := Outer(g, x)
+	want := FromSlice([]float64{3, 4, 5, 6, 8, 10}, 2, 3)
+	if !Equal(got, want, 0) {
+		t.Errorf("Outer = %v, want %v", got, want)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if d := Dot(vec(1, 2, 3), vec(4, 5, 6)); d != 32 {
+		t.Errorf("Dot = %g, want 32", d)
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) for random matrices and vectors.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(6)
+		a := RandNormal(rng, 0, 1, m, k)
+		b := RandNormal(rng, 0, 1, k, n)
+		x := RandNormal(rng, 0, 1, n)
+		left := MatVec(MatMul(a, b), x)
+		right := MatVec(a, MatVec(b, x))
+		if !Equal(left, right, 1e-9) {
+			t.Fatalf("trial %d: (AB)x ≠ A(Bx): %v vs %v", trial, left, right)
+		}
+	}
+}
+
+// Property: MatVec is linear: W(αx+βy) = αWx + βWy.
+func TestMatVecLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		w := RandNormal(rng, 0, 1, rows, cols)
+		x := RandNormal(rng, 0, 1, cols)
+		y := RandNormal(rng, 0, 1, cols)
+		al, be := rng.NormFloat64(), rng.NormFloat64()
+		lhs := MatVec(w, Add(Scale(x, al), Scale(y, be)))
+		rhs := Add(Scale(MatVec(w, x), al), Scale(MatVec(w, y), be))
+		if !Equal(lhs, rhs, 1e-9) {
+			t.Fatalf("trial %d: linearity violated", trial)
+		}
+	}
+}
+
+// Property: ⟨Wx, g⟩ == ⟨x, Wᵀg⟩ (adjoint identity used by autograd).
+func TestMatVecAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 25; trial++ {
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		w := RandNormal(rng, 0, 1, rows, cols)
+		x := RandNormal(rng, 0, 1, cols)
+		g := RandNormal(rng, 0, 1, rows)
+		lhs := Dot(MatVec(w, x), g)
+		rhs := Dot(x, MatVecT(w, g))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("trial %d: adjoint identity violated: %g vs %g", trial, lhs, rhs)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import "math"
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	assertSameShape("Div", a, b)
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] / b.data[i]
+	}
+	return out
+}
+
+// Scale returns a * s elementwise.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// AddScalar returns a + s elementwise.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + s
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
+
+// Abs returns |a| elementwise.
+func Abs(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = math.Abs(a.data[i])
+	}
+	return out
+}
+
+// Relu returns max(0, a) elementwise.
+func Relu(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		if a.data[i] > 0 {
+			out.data[i] = a.data[i]
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-a)) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = 1 / (1 + math.Exp(-a.data[i]))
+	}
+	return out
+}
+
+// Exp returns exp(a) elementwise.
+func Exp(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = math.Exp(a.data[i])
+	}
+	return out
+}
+
+// Square returns a² elementwise.
+func Square(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * a.data[i]
+	}
+	return out
+}
+
+// Heaviside returns 1 where a > threshold, else 0, elementwise.
+func Heaviside(a *Tensor, threshold float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		if a.data[i] > threshold {
+			out.data[i] = 1
+		}
+	}
+	return out
+}
+
+// Clamp limits every element of a to [lo, hi].
+func Clamp(a *Tensor, lo, hi float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		v := a.data[i]
+		if v < lo {
+			v = lo
+		} else if v > hi {
+			v = hi
+		}
+		out.data[i] = v
+	}
+	return out
+}
+
+// AddInPlace computes dst += src elementwise.
+func AddInPlace(dst, src *Tensor) {
+	assertSameShape("AddInPlace", dst, src)
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// SubInPlace computes dst -= src elementwise.
+func SubInPlace(dst, src *Tensor) {
+	assertSameShape("SubInPlace", dst, src)
+	for i := range dst.data {
+		dst.data[i] -= src.data[i]
+	}
+}
+
+// MulInPlace computes dst *= src elementwise.
+func MulInPlace(dst, src *Tensor) {
+	assertSameShape("MulInPlace", dst, src)
+	for i := range dst.data {
+		dst.data[i] *= src.data[i]
+	}
+}
+
+// ScaleInPlace computes dst *= s elementwise.
+func ScaleInPlace(dst *Tensor, s float64) {
+	for i := range dst.data {
+		dst.data[i] *= s
+	}
+}
+
+// AddScaledInPlace computes dst += s*src elementwise (axpy).
+func AddScaledInPlace(dst *Tensor, s float64, src *Tensor) {
+	assertSameShape("AddScaledInPlace", dst, src)
+	for i := range dst.data {
+		dst.data[i] += s * src.data[i]
+	}
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func vec(vals ...float64) *Tensor { return FromSlice(vals, len(vals)) }
+
+func TestAddSubMulDiv(t *testing.T) {
+	a := vec(1, 2, 3)
+	b := vec(4, 5, 6)
+	if got := Add(a, b); !Equal(got, vec(5, 7, 9), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b); !Equal(got, vec(-3, -3, -3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); !Equal(got, vec(4, 10, 18), 0) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Div(b, a); !Equal(got, vec(4, 2.5, 2), 0) {
+		t.Errorf("Div = %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer mustPanic(t, "Add with mismatched shapes")
+	Add(vec(1), vec(1, 2))
+}
+
+func TestScaleNegAddScalar(t *testing.T) {
+	a := vec(1, -2)
+	if got := Scale(a, 3); !Equal(got, vec(3, -6), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Neg(a); !Equal(got, vec(-1, 2), 0) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := AddScalar(a, 10); !Equal(got, vec(11, 8), 0) {
+		t.Errorf("AddScalar = %v", got)
+	}
+}
+
+func TestAbsReluSquareClamp(t *testing.T) {
+	a := vec(-2, 0, 3)
+	if got := Abs(a); !Equal(got, vec(2, 0, 3), 0) {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := Relu(a); !Equal(got, vec(0, 0, 3), 0) {
+		t.Errorf("Relu = %v", got)
+	}
+	if got := Square(a); !Equal(got, vec(4, 0, 9), 0) {
+		t.Errorf("Square = %v", got)
+	}
+	if got := Clamp(a, -1, 2); !Equal(got, vec(-1, 0, 2), 0) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestSigmoidExp(t *testing.T) {
+	s := Sigmoid(vec(0))
+	if math.Abs(s.Data()[0]-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) = %g, want 0.5", s.Data()[0])
+	}
+	e := Exp(vec(1))
+	if math.Abs(e.Data()[0]-math.E) > 1e-12 {
+		t.Errorf("Exp(1) = %g", e.Data()[0])
+	}
+}
+
+func TestHeaviside(t *testing.T) {
+	got := Heaviside(vec(-1, 0.5, 2), 1.0)
+	if !Equal(got, vec(0, 0, 1), 0) {
+		t.Errorf("Heaviside = %v", got)
+	}
+	// Equality with the threshold does not fire (strict >).
+	got = Heaviside(vec(1), 1.0)
+	if got.Data()[0] != 0 {
+		t.Error("Heaviside must be strict")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := vec(1, 2)
+	AddInPlace(a, vec(10, 20))
+	if !Equal(a, vec(11, 22), 0) {
+		t.Errorf("AddInPlace = %v", a)
+	}
+	SubInPlace(a, vec(1, 2))
+	if !Equal(a, vec(10, 20), 0) {
+		t.Errorf("SubInPlace = %v", a)
+	}
+	MulInPlace(a, vec(2, 0.5))
+	if !Equal(a, vec(20, 10), 0) {
+		t.Errorf("MulInPlace = %v", a)
+	}
+	ScaleInPlace(a, 0.1)
+	if !Equal(a, vec(2, 1), 1e-12) {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+	AddScaledInPlace(a, 2, vec(1, 1))
+	if !Equal(a, vec(4, 3), 1e-12) {
+		t.Errorf("AddScaledInPlace = %v", a)
+	}
+}
+
+func TestApply(t *testing.T) {
+	got := Apply(vec(1, 2, 3), func(v float64) float64 { return v * v })
+	if !Equal(got, vec(1, 4, 9), 0) {
+		t.Errorf("Apply = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a tensor with elements drawn uniformly from [lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// RandNormal returns a tensor with elements drawn from N(mean, std²).
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// RandBernoulli returns a binary tensor with P(element = 1) = p.
+func RandBernoulli(rng *rand.Rand, p float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		if rng.Float64() < p {
+			t.data[i] = 1
+		}
+	}
+	return t
+}
+
+// KaimingNormal returns a weight tensor initialized from N(0, 2/fanIn),
+// the standard initialization for layers followed by threshold
+// nonlinearities.
+func KaimingNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	return RandNormal(rng, 0, std, shape...)
+}

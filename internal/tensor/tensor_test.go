@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Errorf("element %d = %g, want 0", i, v)
+		}
+	}
+	if x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Errorf("shape = %v, want [2 3]", x.Shape())
+	}
+}
+
+func TestScalar(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rank() != 0 || s.Len() != 1 || s.Data()[0] != 3.5 {
+		t.Fatalf("Scalar(3.5) = %v", s)
+	}
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Error("FromSlice should wrap the slice, not copy it")
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer mustPanic(t, "FromSlice with wrong length")
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetOffset(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7 {
+		t.Errorf("At(1,2,3) = %g, want 7", got)
+	}
+	if off := x.Offset(1, 2, 3); off != 1*12+2*4+3 {
+		t.Errorf("Offset(1,2,3) = %d, want 23", off)
+	}
+}
+
+func TestOffsetOutOfRangePanics(t *testing.T) {
+	defer mustPanic(t, "out-of-range index")
+	New(2, 2).At(2, 0)
+}
+
+func TestOffsetWrongRankPanics(t *testing.T) {
+	defer mustPanic(t, "wrong-rank index")
+	New(2, 2).At(1)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	c := x.Clone()
+	c.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Error("Clone must not share backing data")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Reshape(3, 2)
+	r.Set(9, 0, 1)
+	if x.At(0, 1) != 9 {
+		t.Error("Reshape must share backing data")
+	}
+	if r.Dim(0) != 3 || r.Dim(1) != 2 {
+		t.Errorf("reshaped shape = %v, want [3 2]", r.Shape())
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	defer mustPanic(t, "reshape with wrong element count")
+	New(2, 3).Reshape(4)
+}
+
+func TestFullFillZero(t *testing.T) {
+	x := Full(2.5, 3)
+	for _, v := range x.Data() {
+		if v != 2.5 {
+			t.Fatalf("Full: got %g", v)
+		}
+	}
+	x.Fill(1)
+	if Sum(x) != 3 {
+		t.Errorf("Fill(1) sum = %g, want 3", Sum(x))
+	}
+	x.Zero()
+	if Sum(x) != 0 {
+		t.Errorf("Zero sum = %g, want 0", Sum(x))
+	}
+}
+
+func TestSameShapeAndEqual(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if !SameShape(a, b) {
+		t.Error("SameShape false for identical shapes")
+	}
+	if SameShape(a, New(2, 1)) {
+		t.Error("SameShape true for different shapes")
+	}
+	if !Equal(a, b, 1e-3) {
+		t.Error("Equal false within tolerance")
+	}
+	if Equal(a, b, 1e-9) {
+		t.Error("Equal true beyond tolerance")
+	}
+	if Equal(a, New(2, 1), 1) {
+		t.Error("Equal must require same shape")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	if !x.AllFinite() {
+		t.Error("finite tensor reported non-finite")
+	}
+	x.Set(math.NaN(), 0)
+	if x.AllFinite() {
+		t.Error("NaN not detected")
+	}
+	x.Set(math.Inf(1), 0)
+	if x.AllFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b := FromSlice([]float64{1, 2, 3, 4}, 4)
+	a.CopyFrom(b) // same element count, different shape is allowed
+	if a.At(1, 1) != 4 {
+		t.Errorf("CopyFrom: got %g, want 4", a.At(1, 1))
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice([]float64{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Error("empty String for small tensor")
+	}
+	large := New(1000)
+	if s := large.String(); s == "" {
+		t.Error("empty String for large tensor")
+	}
+}
+
+func mustPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Errorf("expected panic: %s", what)
+	}
+}

@@ -1,0 +1,111 @@
+// Package snntest is a Go reproduction of "Minimum Time Maximum Fault
+// Coverage Testing of Spiking Neural Networks" (Raptis & Stratigopoulos,
+// DATE 2025): a test-generation algorithm for SNN hardware accelerators
+// that optimizes a short spatio-temporal binary stimulus toward maximum
+// hardware fault coverage without fault simulation in the loop.
+//
+// This root package is the public facade over the implementation
+// packages:
+//
+//   - internal/core      the paper's algorithm (losses L1–L5, two-stage
+//     Gumbel-Softmax/STE input optimization, chunk assembly)
+//   - internal/snn       discrete-time LIF simulator with a fast inference
+//     path and a differentiable surrogate-gradient path
+//   - internal/fault     behavioural fault models, injection, campaigns
+//   - internal/baseline  the greedy prior-work methods of Table IV
+//   - internal/dataset   synthetic NMNIST / DVS-gesture / SHD stand-ins
+//   - internal/train     Adam, schedules, BPTT training
+//   - internal/experiments  end-to-end pipelines for every table & figure
+//
+// Quick start:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	net := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
+//	res := snntest.GenerateTest(net, snntest.TestGenConfig())
+//	faults := snntest.EnumerateFaults(net)
+//	sim := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
+//	fmt.Printf("fault coverage: %.1f%%\n",
+//		100*float64(sim.NumDetected())/float64(len(faults)))
+package snntest
+
+import (
+	"math/rand"
+
+	"github.com/repro/snntest/internal/core"
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Re-exported model types.
+type (
+	// Network is a spiking neural network (see internal/snn).
+	Network = snn.Network
+	// ModelScale selects tiny/small/full benchmark geometry.
+	ModelScale = snn.ModelScale
+	// Fault is one injectable hardware fault.
+	Fault = fault.Fault
+	// TestResult is the outcome of the test-generation algorithm.
+	TestResult = core.Result
+	// GenConfig parameterizes the test-generation algorithm.
+	GenConfig = core.Config
+	// Tensor is a dense float64 tensor.
+	Tensor = tensor.Tensor
+)
+
+// Model scales.
+const (
+	ScaleTiny  = snn.ScaleTiny
+	ScaleSmall = snn.ScaleSmall
+	ScaleFull  = snn.ScaleFull
+)
+
+// BuildNMNIST constructs the NMNIST-style benchmark SNN (paper Fig. 4).
+func BuildNMNIST(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildNMNIST(rng, sc) }
+
+// BuildIBMGesture constructs the DVS128-Gesture-style SNN (paper Fig. 5).
+func BuildIBMGesture(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildIBMGesture(rng, sc) }
+
+// BuildSHD constructs the Spiking-Heidelberg-Digits-style SNN (paper Fig. 6).
+func BuildSHD(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildSHD(rng, sc) }
+
+// DefaultGenConfig returns the paper's optimization settings (Section V-C).
+func DefaultGenConfig() GenConfig { return core.DefaultConfig() }
+
+// TestGenConfig returns a reduced-budget configuration that runs in
+// seconds on tiny models.
+func TestGenConfig() GenConfig { return core.TestConfig() }
+
+// GenerateTest runs the paper's test-generation algorithm on a fault-free
+// network.
+func GenerateTest(net *Network, cfg GenConfig) *TestResult { return core.Generate(net, cfg) }
+
+// EnumerateFaults lists the paper's default fault universe: dead and
+// saturated faults per neuron; dead, positively and negatively saturated
+// faults per synapse.
+func EnumerateFaults(net *Network) []Fault { return fault.Enumerate(net, fault.DefaultOptions()) }
+
+// SimulateFaults runs a fault-simulation campaign of the given faults
+// against a test stimulus; workers ≤ 0 uses GOMAXPROCS.
+func SimulateFaults(net *Network, faults []Fault, stimulus *Tensor, workers int) *fault.SimResult {
+	return fault.Simulate(net, faults, stimulus, workers, nil)
+}
+
+// ClassifyFaults labels faults critical (top-1 flip on ≥ 1 sample) or
+// benign against the evaluation stimuli.
+func ClassifyFaults(net *Network, faults []Fault, samples []*Tensor, workers int) []bool {
+	return fault.Classify(net, faults, samples, workers, nil)
+}
+
+// FaultCoverage tallies per-class coverage from detection and criticality
+// flags.
+func FaultCoverage(faults []Fault, detected, critical []bool) fault.Coverage {
+	return fault.Compute(faults, detected, critical)
+}
+
+// CompactTest drops generated chunks whose fault detections are covered
+// by the remaining chunks, preserving coverage of the given fault list
+// while shortening the test (the paper's future-work direction).
+func CompactTest(net *Network, res *TestResult, faults []Fault, workers int) (*TestResult, core.CompactionStats) {
+	return core.Compact(net, res, faults, workers)
+}
