@@ -110,7 +110,7 @@ func benchmarkTable2(b *testing.B, name string) {
 	var critical []bool
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		critical = fault.Classify(p.Net, faults, testIn, 0, nil)
+		critical = must(fault.Classify(p.Net, faults, testIn, 0, nil))
 	}
 	b.StopTimer()
 	crit := 0
@@ -122,7 +122,7 @@ func benchmarkTable2(b *testing.B, name string) {
 	b.ReportMetric(float64(len(faults)), "faults")
 	b.ReportMetric(float64(crit), "critical")
 	printArtifact("table2-"+name, func() {
-		experiments.RenderTable2(os.Stdout, []experiments.Table2Row{experiments.Table2(p)})
+		experiments.RenderTable2(os.Stdout, []experiments.Table2Row{must(experiments.Table2(p))})
 	})
 }
 
@@ -142,16 +142,16 @@ func benchmarkTable3(b *testing.B, name string) {
 	for i := 0; i < b.N; i++ {
 		cfg := p.Opts.GenConfig
 		cfg.Seed = int64(i + 1)
-		gen = core.Generate(p.Net, cfg)
-		sim := fault.Simulate(p.Net, p.Faults(), gen.Stimulus, 0, nil)
-		fc = fault.Compute(p.Faults(), sim.Detected, p.Critical())
+		gen = must(core.Generate(p.Net, cfg))
+		sim := must(fault.Simulate(p.Net, p.Faults(), gen.Stimulus, 0, nil))
+		fc = must(fault.Compute(p.Faults(), sim.Detected, must(p.Critical())))
 	}
 	b.StopTimer()
 	b.ReportMetric(100*fc.CriticalFC(), "critFC%")
 	b.ReportMetric(100*gen.ActivatedFraction, "activated%")
 	b.ReportMetric(gen.DurationSamples(p.SampleStepsUsed()), "dur-samples")
 	printArtifact("table3-"+name, func() {
-		experiments.RenderTable3(os.Stdout, []experiments.Table3Row{experiments.Table3(p)})
+		experiments.RenderTable3(os.Stdout, []experiments.Table3Row{must(experiments.Table3(p))})
 	})
 }
 
@@ -169,7 +169,7 @@ func BenchmarkTable4_Comparison(b *testing.B) {
 	var rows []experiments.Table4Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Table4(p)
+		rows = must(experiments.Table4(p))
 	}
 	b.StopTimer()
 	for _, r := range rows {
@@ -205,7 +205,7 @@ func BenchmarkFig8_Activation(b *testing.B) {
 	var d experiments.Fig8Data
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d = experiments.Fig8(p)
+		d = must(experiments.Fig8(p))
 	}
 	b.StopTimer()
 	b.ReportMetric(100*d.Optimized.Overall, "optimized%")
@@ -219,7 +219,7 @@ func BenchmarkFig9_SpikeDiffs(b *testing.B) {
 	var d experiments.Fig9Data
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d = experiments.Fig9(p)
+		d = must(experiments.Fig9(p))
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(d.DetectedFaults), "detected")
@@ -236,7 +236,7 @@ func benchmarkAblation(b *testing.B, name string, mutate func(*core.Config)) {
 	var r experiments.AblationResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r = experiments.Ablate(p, name, mutate)
+		r = must(experiments.Ablate(p, name, mutate))
 	}
 	b.StopTimer()
 	b.ReportMetric(r.FullFC, "fullFC%")
@@ -273,7 +273,7 @@ func BenchmarkAblationDirectFC(b *testing.B) {
 	var direct *baseline.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		direct = baseline.Random20(p.Net, faults, 8, p.SampleStepsUsed(), 0.3, rng, baseline.DefaultConfig())
+		direct = must(baseline.Random20(p.Net, faults, 8, p.SampleStepsUsed(), 0.3, rng, baseline.DefaultConfig()))
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(direct.FaultSims), "direct-faultsims")
@@ -288,7 +288,7 @@ func BenchmarkAblationDirectFC(b *testing.B) {
 
 func BenchmarkForwardFast(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	net := snn.BuildNMNIST(rng, snn.ScaleTiny)
+	net := must(snn.BuildNMNIST(rng, snn.ScaleTiny))
 	stim := tensor.RandBernoulli(rng, 0.3, append([]int{50}, net.InShape...)...)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -298,7 +298,7 @@ func BenchmarkForwardFast(b *testing.B) {
 
 func BenchmarkForwardGraphBPTT(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
-	net := snn.BuildNMNIST(rng, snn.ScaleTiny)
+	net := must(snn.BuildNMNIST(rng, snn.ScaleTiny))
 	cfg := core.TestConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -328,12 +328,16 @@ func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
 // and reports how much test length it recovers without losing coverage.
 func BenchmarkCompaction(b *testing.B) {
 	p := pipelines(b)["shd"]
-	gen := p.Generate()
+	gen := must(p.Generate())
 	faults := p.Faults()
 	var stats core.CompactionStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, stats = core.Compact(p.Net, gen, faults, 0)
+		var err error
+		_, stats, err = core.Compact(p.Net, gen, faults, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(stats.StepsBefore), "steps-before")
@@ -348,12 +352,12 @@ func BenchmarkCompaction(b *testing.B) {
 // Section III extension faults (parametric timing variation, bit-flips).
 func BenchmarkExtendedFaultModel(b *testing.B) {
 	p := pipelines(b)["shd"]
-	gen := p.Generate()
+	gen := must(p.Generate())
 	extended := fault.SampleUniverse(p.Net, fault.ExtendedOptions(), 5)
 	var detected int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		detected = fault.Simulate(p.Net, extended, gen.Stimulus, 0, nil).NumDetected()
+		detected = must(fault.Simulate(p.Net, extended, gen.Stimulus, 0, nil)).NumDetected()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(extended)), "faults")

@@ -76,38 +76,72 @@ func main() {
 		for i, p := range pipes {
 			rows[i] = experiments.Table1(p)
 		}
-		experiments.RenderTable1(out, rows)
+		if err := experiments.RenderTable1(out, rows); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *table == 2 {
 		rows := make([]experiments.Table2Row, len(pipes))
 		for i, p := range pipes {
-			rows[i] = experiments.Table2(p)
+			rows[i], err = experiments.Table2(p)
+			if err != nil {
+				fatal(err)
+			}
 		}
-		experiments.RenderTable2(out, rows)
+		if err := experiments.RenderTable2(out, rows); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *table == 3 {
 		rows := make([]experiments.Table3Row, len(pipes))
 		for i, p := range pipes {
-			rows[i] = experiments.Table3(p)
+			rows[i], err = experiments.Table3(p)
+			if err != nil {
+				fatal(err)
+			}
 		}
-		experiments.RenderTable3(out, rows)
+		if err := experiments.RenderTable3(out, rows); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *table == 4 {
-		experiments.RenderTable4(out, experiments.Table4(pickPipe(pipes, "nmnist")))
+		rows, err := experiments.Table4(pickPipe(pipes, "nmnist"))
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderTable4(out, rows); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *fig == 7 {
-		experiments.Fig7(out, pickPipe(pipes, "ibm-gesture"), 4)
+		if err := experiments.Fig7(out, pickPipe(pipes, "ibm-gesture"), 4); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *fig == 8 {
 		p := pickPipe(pipes, "ibm-gesture")
-		experiments.RenderFig8(out, p, experiments.Fig8(p))
+		d, err := experiments.Fig8(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderFig8(out, p, d); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *fig == 9 {
 		p := pickPipe(pipes, "ibm-gesture")
-		experiments.RenderFig9(out, p, experiments.Fig9(p), 10)
+		d, err := experiments.Fig9(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RenderFig9(out, p, d, 10); err != nil {
+			fatal(err)
+		}
 	}
 	if *all || *ablations {
-		runAblations(out, pickPipe(pipes, "shd"))
+		if err := runAblations(out, pickPipe(pipes, "shd")); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -123,14 +157,25 @@ func pickPipe(pipes []*experiments.Pipeline, prefer string) *experiments.Pipelin
 }
 
 // runAblations executes the DESIGN.md §5 ablation suite.
-func runAblations(w io.Writer, p *experiments.Pipeline) {
-	rows := []experiments.AblationResult{
-		experiments.Ablate(p, "no-stage2", func(c *core.Config) { c.DisableStage2 = true }),
-		experiments.Ablate(p, "no-L3", func(c *core.Config) { c.DisableL3 = true }),
-		experiments.Ablate(p, "no-L4", func(c *core.Config) { c.DisableL4 = true }),
-		experiments.Ablate(p, "plain-sigmoid", func(c *core.Config) { c.PlainSigmoid = true }),
+func runAblations(w io.Writer, p *experiments.Pipeline) error {
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"no-stage2", func(c *core.Config) { c.DisableStage2 = true }},
+		{"no-L3", func(c *core.Config) { c.DisableL3 = true }},
+		{"no-L4", func(c *core.Config) { c.DisableL4 = true }},
+		{"plain-sigmoid", func(c *core.Config) { c.PlainSigmoid = true }},
 	}
-	experiments.RenderAblations(w, rows)
+	rows := make([]experiments.AblationResult, 0, len(variants))
+	for _, v := range variants {
+		row, err := experiments.Ablate(p, v.name, v.mutate)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	return experiments.RenderAblations(w, rows)
 }
 
 func parseScale(s string) (snn.ModelScale, error) {

@@ -40,22 +40,22 @@ func main() {
 		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	var net *snn.Network
-	switch *bench {
-	case "nmnist":
-		net = snn.BuildNMNIST(rng, scale)
-	case "ibm-gesture":
-		net = snn.BuildIBMGesture(rng, scale)
-	case "shd":
-		net = snn.BuildSHD(rng, scale)
-	default:
-		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	net, err := snn.Build(*bench, rng, scale)
+	if err != nil {
+		fatal(err)
 	}
 
-	ds := dataset.ForBenchmark(net, dataset.Config{
+	sampleSteps, err := snn.SampleSteps(*bench, scale)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: 4, TestPerClass: 2,
-		Steps: snn.SampleSteps(*bench, scale), Seed: *seed + 1,
+		Steps: sampleSteps, Seed: *seed + 1,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	if *weights != "" {
 		if err := net.LoadWeightsFile(*weights); err != nil {
 			fatal(err)
@@ -81,10 +81,13 @@ func main() {
 
 	testIn, _ := ds.Inputs("test")
 	start := time.Now()
-	critical := fault.Classify(net, faults, testIn, *workers, func(done int) {
+	critical, err := fault.Classify(net, faults, testIn, *workers, func(done int) {
 		fmt.Fprintf(os.Stderr, "\rclassified %d/%d", done, len(faults))
 	})
 	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	elapsed := time.Since(start)
 
 	var cn, bn, cs, bs int

@@ -47,22 +47,21 @@ func main() {
 		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	var net *snn.Network
-	switch *bench {
-	case "nmnist":
-		net = snn.BuildNMNIST(rng, scale)
-	case "ibm-gesture":
-		net = snn.BuildIBMGesture(rng, scale)
-	case "shd":
-		net = snn.BuildSHD(rng, scale)
-	default:
-		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	net, err := snn.Build(*bench, rng, scale)
+	if err != nil {
+		fatal(err)
 	}
 
-	sampleSteps := snn.SampleSteps(*bench, scale)
-	ds := dataset.ForBenchmark(net, dataset.Config{
+	sampleSteps, err := snn.SampleSteps(*bench, scale)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: 4, TestPerClass: 2, Steps: sampleSteps, Seed: *seed + 1,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	if *weights != "" {
 		if err := net.LoadWeightsFile(*weights); err != nil {
 			fatal(err)
@@ -92,7 +91,10 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "generating test stimulus…")
-	res := core.Generate(net, cfg)
+	res, err := core.Generate(net, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("test generation runtime: %v\n", res.Runtime.Round(time.Millisecond))
 	fmt.Printf("T_in,min: %d steps; chunks: %d\n", res.TInMin, len(res.Chunks))
 	fmt.Printf("test duration: %d steps = %.2f samples = %.3f s\n",
@@ -103,9 +105,18 @@ func main() {
 	faults := fault.SampleUniverse(net, fault.DefaultOptions(), *stride)
 	fmt.Fprintf(os.Stderr, "verifying against %d faults…\n", len(faults))
 	testIn, _ := ds.Inputs("test")
-	critical := fault.Classify(net, faults, testIn, *workers, nil)
-	sim := fault.Simulate(net, faults, res.Stimulus, *workers, nil)
-	cov := fault.Compute(faults, sim.Detected, critical)
+	critical, err := fault.Classify(net, faults, testIn, *workers, nil)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := fault.Simulate(net, faults, res.Stimulus, *workers, nil)
+	if err != nil {
+		fatal(err)
+	}
+	cov, err := fault.Compute(faults, sim.Detected, critical)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("verification campaign: %v for %d faults\n", sim.Elapsed.Round(time.Millisecond), len(faults))
 	fmt.Printf("FC critical neuron faults:  %.2f%%\n", 100*cov.CriticalNeuron.FC())
 	fmt.Printf("FC critical synapse faults: %.2f%%\n", 100*cov.CriticalSynapse.FC())

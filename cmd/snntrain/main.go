@@ -35,25 +35,25 @@ func main() {
 		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	var net *snn.Network
-	switch *bench {
-	case "nmnist":
-		net = snn.BuildNMNIST(rng, scale)
-	case "ibm-gesture":
-		net = snn.BuildIBMGesture(rng, scale)
-	case "shd":
-		net = snn.BuildSHD(rng, scale)
-	default:
-		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	net, err := snn.Build(*bench, rng, scale)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("%s (%s): %d neurons, %d synapses\n", net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses())
 
-	ds := dataset.ForBenchmark(net, dataset.Config{
+	sampleSteps, err := snn.SampleSteps(*bench, scale)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: *perClass,
 		TestPerClass:  max(1, *perClass/2),
-		Steps:         snn.SampleSteps(*bench, scale),
+		Steps:         sampleSteps,
 		Seed:          *seed + 1,
 	})
+	if err != nil {
+		fatal(err)
+	}
 	trainIn, trainLab := ds.Inputs("train")
 	testIn, testLab := ds.Inputs("test")
 

@@ -35,8 +35,15 @@ func main() {
 	fmt.Printf("%s: trained to %.1f%% accuracy; fault universe %d\n\n",
 		p.Benchmark, 100*p.Accuracy, len(p.Faults()))
 
-	rows := experiments.Table4(p)
-	experiments.RenderTable4(os.Stdout, rows)
+	rows, err := experiments.Table4(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := experiments.RenderTable4(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// The headline asymmetry (Section IV-B): the greedy baselines verify
 	// candidates by fault simulation (cost O(M·T_FS)); the proposed

@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	snntest "github.com/repro/snntest"
 	"github.com/repro/snntest/internal/fault"
@@ -22,14 +23,20 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(1))
-	net := snntest.BuildSHD(rng, snntest.ScaleTiny)
+	net, err := snntest.BuildSHD(rng, snntest.ScaleTiny)
+	if err != nil {
+		fatal(err)
+	}
 
 	// One-time test generation (post-manufacturing) and golden-response
 	// capture. In a real deployment both are burned into on-chip memory:
 	// the stimulus here is a few hundred binary frames — kilobytes.
 	cfg := snntest.TestGenConfig()
 	cfg.Seed = 2
-	gen := snntest.GenerateTest(net, cfg)
+	gen, err := snntest.GenerateTest(net, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	golden := net.Run(gen.Stimulus).Output().Clone()
 	bits := gen.Stimulus.Len()
 	fmt.Printf("stored test: %d steps (%d bits ≈ %.1f KiB packed), golden response %d spikes\n\n",
@@ -89,4 +96,9 @@ func main() {
 				lf.f, lf.appeared)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "infield_test:", err)
+	os.Exit(1)
 }

@@ -35,12 +35,30 @@ func main() {
 		100*p.Accuracy, p.Net.NumNeurons(), p.Net.NumSynapses())
 
 	// Table III metrics for this single benchmark.
-	row := experiments.Table3(p)
-	experiments.RenderTable3(os.Stdout, []experiments.Table3Row{row})
+	row, err := experiments.Table3(p)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.RenderTable3(os.Stdout, []experiments.Table3Row{row}); err != nil {
+		fatal(err)
+	}
 
 	// Fig. 7: what the optimized stimulus looks like.
-	experiments.Fig7(os.Stdout, p, 3)
+	if err := experiments.Fig7(os.Stdout, p, 3); err != nil {
+		fatal(err)
+	}
 
 	// Fig. 8: optimized test vs. a dataset sample.
-	experiments.RenderFig8(os.Stdout, p, experiments.Fig8(p))
+	d, err := experiments.Fig8(p)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.RenderFig8(os.Stdout, p, d); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmnist_testgen:", err)
+	os.Exit(1)
 }

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	snntest "github.com/repro/snntest"
 )
@@ -18,7 +19,10 @@ func main() {
 	// 1. Build a tiny NMNIST-style convolutional SNN (untrained weights
 	//    are fine for a first tour; see examples/nmnist_testgen for the
 	//    trained pipeline).
-	net := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
+	net, err := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("network %q: %d neurons, %d synapses, input %v\n",
 		net.Name, net.NumNeurons(), net.NumSynapses(), net.InShape)
 
@@ -26,9 +30,7 @@ func main() {
 	//    network with a constant stimulus and look at one spike train.
 	demo := net.ZeroInput(12)
 	for t := 0; t < 12; t++ {
-		for i := 0; i < net.InputLen(); i++ {
-			demo.Data()[t*net.InputLen()+i] = 1
-		}
+		demo.Step(t).Fill(1)
 	}
 	rec := net.Run(demo)
 	fmt.Printf("conv neuron 0 spike train under constant drive: %v\n",
@@ -38,14 +40,25 @@ func main() {
 	//    budget keeps this run in the seconds range.
 	cfg := snntest.TestGenConfig()
 	cfg.Seed = 2
-	res := snntest.GenerateTest(net, cfg)
+	res, err := snntest.GenerateTest(net, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("generated test: %d chunks, %d steps total, %.1f%% neurons activated, runtime %v\n",
 		len(res.Chunks), res.TotalSteps(), 100*res.ActivatedFraction, res.Runtime.Round(1e6))
 
 	// 4. One final fault-simulation campaign verifies the coverage
 	//    (Eq. 3/4) — the only fault simulation in the whole flow.
 	faults := snntest.EnumerateFaults(net)
-	sim := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
+	sim, err := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("fault universe: %d faults; detected: %d (FC = %.2f%%)\n",
 		len(faults), sim.NumDetected(), 100*float64(sim.NumDetected())/float64(len(faults)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
 }

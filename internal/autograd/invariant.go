@@ -1,0 +1,12 @@
+package autograd
+
+import "fmt"
+
+// checkf is the package's invariant-check chokepoint: graph-construction
+// ops are hot-path code whose misuse (empty operand lists, out-of-range
+// slices, non-positive temperatures) is always a programmer error, so
+// they panic through this helper instead of threading errors through
+// every op chain. Boundary APIs (Backward) return errors.
+func checkf(format string, args ...any) {
+	panic("autograd: " + fmt.Sprintf(format, args...))
+}

@@ -90,12 +90,12 @@ func accumulate(p *Node, g *tensor.Tensor) {
 // scalar (single-element) node. After it returns, every reachable
 // gradient-requiring node holds ∂root/∂node in Grad (accumulated on top of
 // whatever was already there, so call ZeroGrad on leaves between steps).
-func Backward(root *Node) {
+func Backward(root *Node) error {
 	if root.Value.Len() != 1 {
-		panic(fmt.Sprintf("autograd: Backward root must be scalar, got shape %v", root.Value.Shape()))
+		return fmt.Errorf("autograd: Backward root must be scalar, got shape %v", root.Value.Shape())
 	}
 	if !root.requiresGrad {
-		return // nothing reachable requires gradients
+		return nil // nothing reachable requires gradients
 	}
 	order := topoSort(root)
 	root.Grad.Fill(1)
@@ -104,6 +104,7 @@ func Backward(root *Node) {
 			order[i].backward()
 		}
 	}
+	return nil
 }
 
 // topoSort returns nodes reachable from root in topological order

@@ -44,12 +44,9 @@ func randVec(seed int64, n int) *tensor.Tensor {
 }
 
 func TestBackwardRequiresScalarRoot(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-scalar root")
-		}
-	}()
-	Backward(Leaf(tensor.New(2)))
+	if err := Backward(Leaf(tensor.New(2))); err == nil {
+		t.Error("expected error for non-scalar root")
+	}
 }
 
 func TestLeafConstSemantics(t *testing.T) {

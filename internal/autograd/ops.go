@@ -1,8 +1,6 @@
 package autograd
 
 import (
-	"fmt"
-
 	"github.com/repro/snntest/internal/tensor"
 )
 
@@ -18,7 +16,7 @@ func Add(a, b *Node) *Node {
 // AddN returns the elementwise sum of all operands (at least one).
 func AddN(nodes ...*Node) *Node {
 	if len(nodes) == 0 {
-		panic("autograd: AddN requires at least one operand")
+		checkf("AddN requires at least one operand")
 	}
 	v := nodes[0].Value.Clone()
 	for _, n := range nodes[1:] {
@@ -174,15 +172,15 @@ func SumPool2D(x *Node, k int) *Node {
 // gradients are routed back into the corresponding segment. It is how the
 // per-step input frames of a [T·frame] stimulus leaf enter the SNN graph.
 func Slice(a *Node, start, length int, shape ...int) *Node {
-	if start < 0 || start+length > a.Value.Len() {
-		panic(fmt.Sprintf("autograd: Slice [%d:%d] out of range for %d elements", start, start+length, a.Value.Len()))
+	if start < 0 || length < 0 || start+length > a.Value.Len() {
+		checkf("Slice [%d:%d] out of range for %d elements", start, start+length, a.Value.Len())
 	}
-	v := tensor.FromSlice(a.Value.Data()[start:start+length], shape...)
+	v := tensor.FromSlice(a.Value.RawRange(start, length), shape...)
 	return newOp(v, func(out *Node) {
 		if !a.requiresGrad {
 			return
 		}
-		g := a.Grad.Data()[start : start+length]
+		g := a.Grad.RawRange(start, length)
 		og := out.Grad.Data()
 		for i := range og {
 			g[i] += og[i]

@@ -40,7 +40,7 @@ func Spike(u *Node, threshold, scale float64) *Node {
 // Jacobian s(1−s)/τ.
 func GumbelSigmoid(logits *Node, noise *tensor.Tensor, tau float64) *Node {
 	if tau <= 0 {
-		panic("autograd: GumbelSigmoid temperature must be positive")
+		checkf("GumbelSigmoid temperature must be positive, got %g", tau)
 	}
 	v := tensor.New(logits.Value.Shape()...)
 	ld, nd, vd := logits.Value.Data(), noise.Data(), v.Data()
@@ -95,7 +95,7 @@ func LogisticNoise(dst *tensor.Tensor, uniform func() float64) {
 func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 	rows, cols := w.Dim(0), w.Dim(1)
 	if x.Value.Len() != cols {
-		panic("autograd: MaskedRowVariance dimension mismatch")
+		checkf("MaskedRowVariance dimension mismatch: %d weights columns vs %d counts", cols, x.Value.Len())
 	}
 	v := tensor.New(rows)
 	means := make([]float64, rows)

@@ -72,19 +72,22 @@ func (r *Result) TotalSteps() int {
 // by full fault simulation, then candidates are added by maximum marginal
 // coverage until the target is reached. This is deliberately the
 // expensive prior-work flow.
-func GreedySelect(net *snn.Network, faults []fault.Fault, candidates []*tensor.Tensor, cfg Config) *Result {
+func GreedySelect(net *snn.Network, faults []fault.Fault, candidates []*tensor.Tensor, cfg Config) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	if len(candidates) == 0 || len(faults) == 0 {
 		res.Stimulus = net.ZeroInput(1)
 		res.Runtime = time.Since(start)
-		return res
+		return res, nil
 	}
 
 	// Detection matrix: which faults each candidate detects.
 	detects := make([][]bool, len(candidates))
 	for ci, cand := range candidates {
-		sim := fault.Simulate(net, faults, cand, cfg.Workers, nil)
+		sim, err := fault.Simulate(net, faults, cand, cfg.Workers, nil)
+		if err != nil {
+			return nil, err
+		}
 		detects[ci] = sim.Detected
 		res.FaultSims += len(faults)
 	}
@@ -103,7 +106,7 @@ func GreedySelect(net *snn.Network, faults []fault.Fault, candidates []*tensor.T
 	if detectable == 0 {
 		res.Stimulus = net.ZeroInput(1)
 		res.Runtime = time.Since(start)
-		return res
+		return res, nil
 	}
 
 	covered := make([]bool, len(faults))
@@ -148,7 +151,7 @@ func GreedySelect(net *snn.Network, faults []fault.Fault, candidates []*tensor.T
 
 	res.Stimulus = assemble(net, res.Selected)
 	res.Runtime = time.Since(start)
-	return res
+	return res, nil
 }
 
 // assemble concatenates inputs interleaved with equal-length zero
@@ -168,7 +171,7 @@ func assemble(net *snn.Network, inputs []*tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(append([]int{total}, net.InShape...)...)
 	off := 0
 	for i, c := range inputs {
-		copy(out.Data()[off*frame:], c.Data())
+		copy(out.RawRange(off*frame, c.Len()), c.Data())
 		off += c.Dim(0)
 		if i < len(inputs)-1 {
 			off += c.Dim(0)
@@ -179,13 +182,13 @@ func assemble(net *snn.Network, inputs []*tensor.Tensor) *tensor.Tensor {
 
 // Dataset18 runs the [18]-style compact functional test generation:
 // greedy selection over the provided dataset samples.
-func Dataset18(net *snn.Network, faults []fault.Fault, samples []*tensor.Tensor, cfg Config) *Result {
+func Dataset18(net *snn.Network, faults []fault.Fault, samples []*tensor.Tensor, cfg Config) (*Result, error) {
 	return GreedySelect(net, faults, samples, cfg)
 }
 
 // Random20 runs the [20]-style generation: greedy selection over random
 // Bernoulli stimuli of one dataset-sample duration each.
-func Random20(net *snn.Network, faults []fault.Fault, pool, steps int, density float64, rng *rand.Rand, cfg Config) *Result {
+func Random20(net *snn.Network, faults []fault.Fault, pool, steps int, density float64, rng *rand.Rand, cfg Config) (*Result, error) {
 	candidates := make([]*tensor.Tensor, pool)
 	for i := range candidates {
 		candidates[i] = tensor.RandBernoulli(rng, density, append([]int{steps}, net.InShape...)...)
@@ -197,10 +200,14 @@ func Random20(net *snn.Network, faults []fault.Fault, pool, steps int, density f
 // is perturbed by flipping the input bits with the largest
 // loss-increasing gradients (a spike-domain FGSM analogue), then greedy
 // selection runs over the perturbed pool.
-func Adversarial17(net *snn.Network, faults []fault.Fault, samples []*tensor.Tensor, labels []int, flipFrac float64, cfg Config) *Result {
+func Adversarial17(net *snn.Network, faults []fault.Fault, samples []*tensor.Tensor, labels []int, flipFrac float64, cfg Config) (*Result, error) {
 	candidates := make([]*tensor.Tensor, len(samples))
 	for i, s := range samples {
-		candidates[i] = AdversarialPerturb(net, s, labels[i], flipFrac)
+		cand, err := AdversarialPerturb(net, s, labels[i], flipFrac)
+		if err != nil {
+			return nil, err
+		}
+		candidates[i] = cand
 	}
 	return GreedySelect(net, faults, candidates, cfg)
 }
@@ -208,7 +215,7 @@ func Adversarial17(net *snn.Network, faults []fault.Fault, samples []*tensor.Ten
 // AdversarialPerturb flips the flipFrac fraction of input bits with the
 // largest gradient magnitude of the classification loss with respect to
 // the input, in the loss-increasing direction.
-func AdversarialPerturb(net *snn.Network, sample *tensor.Tensor, label int, flipFrac float64) *tensor.Tensor {
+func AdversarialPerturb(net *snn.Network, sample *tensor.Tensor, label int, flipFrac float64) (*tensor.Tensor, error) {
 	steps := sample.Dim(0)
 	frame := net.InputLen()
 	leaf := ag.Leaf(sample.Clone().Reshape(steps * frame))
@@ -220,7 +227,9 @@ func AdversarialPerturb(net *snn.Network, sample *tensor.Tensor, label int, flip
 	}
 	res := net.RunGraph(stepNodes)
 	loss := ag.SoftmaxCrossEntropy(res.LayerCounts(res.OutputLayer()), label)
-	ag.Backward(loss)
+	if err := ag.Backward(loss); err != nil {
+		return nil, err
+	}
 
 	grad := leaf.Grad.Data()
 	type scored struct {
@@ -246,5 +255,5 @@ func AdversarialPerturb(net *snn.Network, sample *tensor.Tensor, label int, flip
 	for _, s := range order[:flips] {
 		dd[s.idx] = 1 - dd[s.idx]
 	}
-	return data
+	return data, nil
 }

@@ -11,9 +11,9 @@ import (
 
 func toyNet(seed int64) *snn.Network {
 	rng := rand.New(rand.NewSource(seed))
-	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4)), snn.DefaultLIF())
-	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5)), snn.DefaultLIF())
-	return snn.NewNetwork("toy", []int{4}, 1.0, l1, l2)
+	l1 := must(snn.NewLayer("h", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4))), snn.DefaultLIF()))
+	l2 := must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5))), snn.DefaultLIF()))
+	return must(snn.NewNetwork("toy", []int{4}, 1.0, l1, l2))
 }
 
 func randomPool(seed int64, net *snn.Network, n, steps int, density float64) []*tensor.Tensor {
@@ -29,7 +29,7 @@ func TestGreedySelectCoverageMonotone(t *testing.T) {
 	net := toyNet(1)
 	faults := fault.Enumerate(net, fault.DefaultOptions())
 	pool := randomPool(2, net, 8, 12, 0.4)
-	res := GreedySelect(net, faults, pool, DefaultConfig())
+	res := must(GreedySelect(net, faults, pool, DefaultConfig()))
 
 	if len(res.Selected) == 0 {
 		t.Fatal("no inputs selected")
@@ -59,16 +59,16 @@ func TestGreedySelectReachesUnionCoverage(t *testing.T) {
 	faults := fault.Enumerate(net, fault.DefaultOptions())
 	pool := randomPool(4, net, 10, 12, 0.5)
 	cfg := DefaultConfig()
-	res := GreedySelect(net, faults, pool, cfg)
+	res := must(GreedySelect(net, faults, pool, cfg))
 
 	// The greedy test set must detect exactly what the union of selected
 	// inputs detects, and reach ≥ TargetFC of the detectable universe.
-	sim := fault.Simulate(net, faults, res.Stimulus, 1, nil)
+	sim := must(fault.Simulate(net, faults, res.Stimulus, 1, nil))
 	got := sim.NumDetected()
 	unionDet := 0
 	union := make([]bool, len(faults))
 	for _, cand := range pool {
-		s := fault.Simulate(net, faults, cand, 1, nil)
+		s := must(fault.Simulate(net, faults, cand, 1, nil))
 		for i, d := range s.Detected {
 			if d && !union[i] {
 				union[i] = true
@@ -87,7 +87,7 @@ func TestGreedySelectRespectsMaxInputs(t *testing.T) {
 	pool := randomPool(6, net, 10, 10, 0.4)
 	cfg := DefaultConfig()
 	cfg.MaxInputs = 2
-	res := GreedySelect(net, faults, pool, cfg)
+	res := must(GreedySelect(net, faults, pool, cfg))
 	if len(res.Selected) > 2 {
 		t.Errorf("selected %d inputs, limit 2", len(res.Selected))
 	}
@@ -95,7 +95,7 @@ func TestGreedySelectRespectsMaxInputs(t *testing.T) {
 
 func TestGreedySelectEmptyInputs(t *testing.T) {
 	net := toyNet(7)
-	res := GreedySelect(net, nil, nil, DefaultConfig())
+	res := must(GreedySelect(net, nil, nil, DefaultConfig()))
 	if res.TotalSteps() != 1 {
 		t.Error("degenerate run should produce the trivial zero stimulus")
 	}
@@ -103,7 +103,7 @@ func TestGreedySelectEmptyInputs(t *testing.T) {
 	// A pool of zero stimuli detects nothing except saturation faults…
 	// use truly empty-detection pool: zero stimuli detect saturated
 	// output faults, so instead pass an empty candidate list.
-	res = GreedySelect(net, faults, nil, DefaultConfig())
+	res = must(GreedySelect(net, faults, nil, DefaultConfig()))
 	if len(res.Selected) != 0 {
 		t.Error("no candidates → no selection")
 	}
@@ -112,7 +112,7 @@ func TestGreedySelectEmptyInputs(t *testing.T) {
 func TestRandom20GeneratesAndCovers(t *testing.T) {
 	net := toyNet(9)
 	faults := fault.Enumerate(net, fault.DefaultOptions())
-	res := Random20(net, faults, 6, 12, 0.4, rand.New(rand.NewSource(10)), DefaultConfig())
+	res := must(Random20(net, faults, 6, 12, 0.4, rand.New(rand.NewSource(10)), DefaultConfig()))
 	if len(res.Selected) == 0 || res.CumulativeFC[len(res.CumulativeFC)-1] <= 0 {
 		t.Error("random baseline produced no coverage")
 	}
@@ -122,7 +122,7 @@ func TestDataset18UsesProvidedSamples(t *testing.T) {
 	net := toyNet(11)
 	faults := fault.Enumerate(net, fault.DefaultOptions())
 	samples := randomPool(12, net, 5, 12, 0.5)
-	res := Dataset18(net, faults, samples, DefaultConfig())
+	res := must(Dataset18(net, faults, samples, DefaultConfig()))
 	for _, sel := range res.Selected {
 		found := false
 		for _, s := range samples {
@@ -141,7 +141,7 @@ func TestAdversarialPerturbFlipsTowardHigherLoss(t *testing.T) {
 	net := toyNet(13)
 	sample := randomPool(14, net, 1, 12, 0.4)[0]
 	label := net.Predict(sample)
-	adv := AdversarialPerturb(net, sample, label, 0.1)
+	adv := must(AdversarialPerturb(net, sample, label, 0.1))
 
 	// The perturbed input must stay binary and differ from the original.
 	diff := tensor.L1Diff(sample, adv)
@@ -167,7 +167,7 @@ func TestAdversarial17EndToEnd(t *testing.T) {
 	for i, s := range samples {
 		labels[i] = net.Predict(s)
 	}
-	res := Adversarial17(net, faults, samples, labels, 0.08, DefaultConfig())
+	res := must(Adversarial17(net, faults, samples, labels, 0.08, DefaultConfig()))
 	if len(res.Selected) == 0 {
 		t.Error("adversarial baseline selected nothing")
 	}

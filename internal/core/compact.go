@@ -26,7 +26,7 @@ type CompactionStats struct {
 // sets are covered by the union of the chunks that remain, and
 // reassembles the test. Coverage is preserved exactly with respect to
 // the given fault list.
-func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (*Result, CompactionStats) {
+func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (*Result, CompactionStats, error) {
 	stats := CompactionStats{
 		ChunksBefore: len(res.Chunks),
 		StepsBefore:  res.TotalSteps(),
@@ -34,14 +34,22 @@ func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (
 	if len(res.Chunks) <= 1 {
 		stats.ChunksAfter = len(res.Chunks)
 		stats.StepsAfter = res.TotalSteps()
-		stats.Detected = fault.Simulate(net, faults, res.Stimulus, workers, nil).NumDetected()
-		return res, stats
+		sim, err := fault.Simulate(net, faults, res.Stimulus, workers, nil)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Detected = sim.NumDetected()
+		return res, stats, nil
 	}
 
 	// Per-chunk detection sets.
 	detects := make([][]bool, len(res.Chunks))
 	for i, c := range res.Chunks {
-		detects[i] = fault.Simulate(net, faults, c, workers, nil).Detected
+		sim, err := fault.Simulate(net, faults, c, workers, nil)
+		if err != nil {
+			return nil, stats, err
+		}
+		detects[i] = sim.Detected
 	}
 
 	keep := make([]bool, len(res.Chunks))
@@ -117,5 +125,5 @@ func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (
 	stats.ChunksAfter = len(kept)
 	stats.StepsAfter = out.TotalSteps()
 	stats.Detected = detected
-	return out, stats
+	return out, stats, nil
 }

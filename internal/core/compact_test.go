@@ -12,12 +12,15 @@ func TestCompactPreservesCoverage(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Seed = 21
 	cfg.MinNewFraction = 0 // let redundant chunks accumulate
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	faults := fault.Enumerate(net, fault.DefaultOptions())
 
-	before := fault.Simulate(net, faults, res.Stimulus, 1, nil).NumDetected()
-	compacted, stats := Compact(net, res, faults, 1)
-	after := fault.Simulate(net, faults, compacted.Stimulus, 1, nil).NumDetected()
+	before := must(fault.Simulate(net, faults, res.Stimulus, 1, nil)).NumDetected()
+	compacted, stats, err := Compact(net, res, faults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := must(fault.Simulate(net, faults, compacted.Stimulus, 1, nil)).NumDetected()
 
 	if stats.ChunksAfter > stats.ChunksBefore || stats.StepsAfter > stats.StepsBefore {
 		t.Errorf("compaction grew the test: %+v", stats)
@@ -39,12 +42,15 @@ func TestCompactSingleChunkNoop(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Seed = 23
 	cfg.MaxIterations = 1
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	if len(res.Chunks) != 1 {
 		t.Skip("needs a single-chunk result")
 	}
 	faults := fault.Enumerate(net, fault.DefaultOptions())
-	compacted, stats := Compact(net, res, faults, 1)
+	compacted, stats, err := Compact(net, res, faults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.ChunksAfter != 1 || compacted.TotalSteps() != res.TotalSteps() {
 		t.Error("single-chunk compaction must be a no-op")
 	}
@@ -57,7 +63,7 @@ func TestCompactDropsRedundantChunk(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Seed = 25
 	cfg.MaxIterations = 1
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	dup := &Result{
 		Chunks:    []*tensor.Tensor{res.Chunks[0], res.Chunks[0].Clone()},
 		TInMin:    res.TInMin,
@@ -65,7 +71,10 @@ func TestCompactDropsRedundantChunk(t *testing.T) {
 	}
 	dup.Stimulus = Assemble(net, dup.Chunks)
 	faults := fault.Enumerate(net, fault.DefaultOptions())
-	_, stats := Compact(net, dup, faults, 1)
+	_, stats, err := Compact(net, dup, faults, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.ChunksAfter != 1 {
 		t.Errorf("duplicate chunk not dropped: %+v", stats)
 	}

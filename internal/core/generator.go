@@ -61,7 +61,10 @@ func (r *Result) DurationSamples(sampleSteps int) float64 {
 // Generate runs the full test-generation algorithm of Fig. 2 on the
 // fault-free network and returns the assembled stimulus. The network
 // model stays fixed throughout; only the input is optimized.
-func Generate(net *snn.Network, cfg Config) *Result {
+func Generate(net *snn.Network, cfg Config) (*Result, error) {
+	if net.HasFaultOverrides() {
+		return nil, fmt.Errorf("core: Generate requires a fault-free network, but %q carries fault overrides", net.Name)
+	}
 	start := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	offsets := net.LayerOffsets()
@@ -69,7 +72,11 @@ func Generate(net *snn.Network, cfg Config) *Result {
 
 	tInMin := cfg.TInMin
 	if tInMin == 0 {
-		tInMin = CalibrateTInMin(net, &cfg, rng)
+		var err error
+		tInMin, err = CalibrateTInMin(net, &cfg, rng)
+		if err != nil {
+			return nil, err
+		}
 		if tInMin < cfg.TInFloor {
 			tInMin = cfg.TInFloor
 		}
@@ -96,7 +103,11 @@ func Generate(net *snn.Network, cfg Config) *Result {
 		growths := 0
 		var best stageOutcome
 		for {
-			best = opt.runStage1(mask, tdMin, offsets)
+			var err error
+			best, err = opt.runStage1(mask, tdMin, offsets)
+			if err != nil {
+				return nil, err
+			}
 			if newTargets(best.activated, target) > 0 || growths >= cfg.MaxGrowth {
 				break
 			}
@@ -113,7 +124,11 @@ func Generate(net *snn.Network, cfg Config) *Result {
 			break
 		}
 		if !cfg.DisableStage2 {
-			best = opt.runStage2(best, offsets)
+			var err error
+			best, err = opt.runStage2(best, offsets)
+			if err != nil {
+				return nil, err
+			}
 		}
 
 		newCount := 0
@@ -147,7 +162,7 @@ func Generate(net *snn.Network, cfg Config) *Result {
 	res.Stimulus = Assemble(net, res.Chunks)
 	res.ActivatedFraction = float64(len(activated)) / float64(totalNeurons)
 	res.Runtime = time.Since(start)
-	return res
+	return res, nil
 }
 
 // newTargets counts activated neurons belonging to the target set.
@@ -180,7 +195,7 @@ func Assemble(net *snn.Network, chunks []*tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(append([]int{total}, net.InShape...)...)
 	off := 0
 	for i, c := range chunks {
-		copy(out.Data()[off*frame:], c.Data())
+		copy(out.RawRange(off*frame, c.Len()), c.Data())
 		off += c.Dim(0)
 		if i < len(chunks)-1 {
 			off += c.Dim(0) // zero separator: already zero-filled
@@ -195,7 +210,7 @@ func Assemble(net *snn.Network, chunks []*tensor.Tensor) *tensor.Tensor {
 // duration fully succeeds within the cap, it returns the duration that
 // achieved the lowest L1 (preferring shorter on ties), leaving the rest
 // to the full stage-1 optimization with its larger budget.
-func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) int {
+func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) (int, error) {
 	budget := cfg.Steps1 / 2
 	if budget < 60 {
 		budget = 60
@@ -211,13 +226,15 @@ func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) int {
 			res, _ := opt.forward(tauSched.At(s))
 			l1 := L1(res)
 			if l1.Value.Data()[0] == 0 {
-				return t
+				return t, nil
 			}
 			if l1.Value.Data()[0] < minL1 {
 				minL1 = l1.Value.Data()[0]
 			}
 			opt.adam.ZeroGrad()
-			ag.Backward(l1)
+			if err := ag.Backward(l1); err != nil {
+				return 0, err
+			}
 			opt.adam.LR = lrSched.At(s)
 			opt.adam.Step()
 		}
@@ -225,5 +242,5 @@ func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) int {
 			bestL1, bestT = minL1, t
 		}
 	}
-	return bestT
+	return bestT, nil
 }

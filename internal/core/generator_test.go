@@ -63,7 +63,7 @@ func TestCalibrateTInMinReachesAllOutputs(t *testing.T) {
 	net := smallNet(4)
 	cfg := TestConfig()
 	rng := rand.New(rand.NewSource(5))
-	tmin := CalibrateTInMin(net, &cfg, rng)
+	tmin := must(CalibrateTInMin(net, &cfg, rng))
 	if tmin < 1 {
 		t.Fatalf("T_in,min = %d", tmin)
 	}
@@ -77,7 +77,7 @@ func TestGenerateActivatesNeuronsAndAssembles(t *testing.T) {
 	net := smallNet(6)
 	cfg := TestConfig()
 	cfg.Seed = 7
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 
 	if res.Stimulus == nil || res.TotalSteps() < 1 {
 		t.Fatal("no stimulus generated")
@@ -128,8 +128,8 @@ func TestGenerateDeterministicWithSeed(t *testing.T) {
 	net := smallNet(8)
 	cfg := TestConfig()
 	cfg.Seed = 9
-	a := Generate(net, cfg)
-	b := Generate(net, cfg)
+	a := must(Generate(net, cfg))
+	b := must(Generate(net, cfg))
 	if !tensor.Equal(a.Stimulus, b.Stimulus, 0) {
 		t.Error("same seed must reproduce the same stimulus")
 	}
@@ -139,7 +139,7 @@ func TestGenerateRespectsTimeLimit(t *testing.T) {
 	net := smallNet(10)
 	cfg := TestConfig()
 	cfg.TimeLimit = 0 // expire immediately after the first checks
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	if len(res.Chunks) > 1 {
 		t.Errorf("time-limited run produced %d chunks", len(res.Chunks))
 	}
@@ -149,7 +149,7 @@ func TestGenerateRespectsMaxIterations(t *testing.T) {
 	net := smallNet(11)
 	cfg := TestConfig()
 	cfg.MaxIterations = 1
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	if len(res.Chunks) > 1 {
 		t.Errorf("MaxIterations=1 produced %d chunks", len(res.Chunks))
 	}
@@ -164,10 +164,10 @@ func TestGeneratedTestCoversFaults(t *testing.T) {
 	net := smallNet(12)
 	cfg := TestConfig()
 	cfg.Seed = 13
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 
 	faults := fault.Enumerate(net, fault.DefaultOptions())
-	sim := fault.Simulate(net, faults, res.Stimulus, 1, nil)
+	sim := must(fault.Simulate(net, faults, res.Stimulus, 1, nil))
 	fcOpt := float64(sim.NumDetected()) / float64(len(faults))
 
 	if fcOpt < 0.6 {
@@ -192,12 +192,12 @@ func TestGeneratedTestCoversFaults(t *testing.T) {
 func TestGenerateOnConvNetwork(t *testing.T) {
 	// The generator must handle conv/pool architectures, not just dense.
 	rng := rand.New(rand.NewSource(15))
-	net := snn.BuildNMNIST(rng, snn.ScaleTiny)
+	net := must(snn.BuildNMNIST(rng, snn.ScaleTiny))
 	cfg := TestConfig()
 	cfg.Steps1 = 25
 	cfg.MaxIterations = 2
 	cfg.TimeLimit = time.Minute
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	if res.TotalSteps() < 1 {
 		t.Fatal("no stimulus for conv network")
 	}

@@ -179,7 +179,7 @@ func OutputMismatch(res *snn.GraphResult, ref *tensor.Tensor) *ag.Node {
 	n := out[0].Value.Len()
 	terms := make([]*ag.Node, len(out))
 	for t, s := range out {
-		refT := tensor.FromSlice(ref.Data()[t*n:(t+1)*n], n)
+		refT := ref.Step(t).Reshape(n)
 		terms[t] = ag.Sum(ag.Abs(ag.Sub(ag.Reshape(s, n), ag.Const(refT))))
 	}
 	return ag.AddN(terms...)

@@ -13,9 +13,9 @@ import (
 // smallNet builds a 2-layer dense network used across testgen tests.
 func smallNet(seed int64) *snn.Network {
 	rng := rand.New(rand.NewSource(seed))
-	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4)), snn.DefaultLIF())
-	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5)), snn.DefaultLIF())
-	return snn.NewNetwork("small", []int{4}, 1.0, l1, l2)
+	l1 := must(snn.NewLayer("h", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4))), snn.DefaultLIF()))
+	l2 := must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5))), snn.DefaultLIF()))
+	return must(snn.NewNetwork("small", []int{4}, 1.0, l1, l2))
 }
 
 // graphRun runs the net differentiably on a binary stimulus.
@@ -97,8 +97,8 @@ func TestL3TemporalDiversityHinge(t *testing.T) {
 func TestL4SkipsFirstLayerAndPooling(t *testing.T) {
 	// A single-layer network has no ℓ ≥ 2 term: L4 must be 0.
 	rng := rand.New(rand.NewSource(7))
-	one := snn.NewNetwork("one", []int{3}, 1.0,
-		snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.3, 0.4, 2, 3)), snn.DefaultLIF()))
+	one := must(snn.NewNetwork("one", []int{3}, 1.0,
+		must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.3, 0.4, 2, 3))), snn.DefaultLIF()))))
 	res := graphRun(one, tensor.RandBernoulli(rng, 0.5, 8, 3))
 	if l4 := L4(one, res).Value.Data()[0]; l4 != 0 {
 		t.Errorf("single-layer L4 = %g, want 0", l4)
@@ -108,9 +108,9 @@ func TestL4SkipsFirstLayerAndPooling(t *testing.T) {
 func TestL4ZeroForUniformContributions(t *testing.T) {
 	// Second-layer weights all equal and first layer firing uniformly →
 	// contributions are uniform → variance 0.
-	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.Full(2, 4, 2)), snn.DefaultLIF())
-	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.Full(0.5, 2, 4)), snn.DefaultLIF())
-	net := snn.NewNetwork("uniform", []int{2}, 1.0, l1, l2)
+	l1 := must(snn.NewLayer("h", must(snn.NewDenseProj(tensor.Full(2, 4, 2))), snn.DefaultLIF()))
+	l2 := must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.Full(0.5, 2, 4))), snn.DefaultLIF()))
+	net := must(snn.NewNetwork("uniform", []int{2}, 1.0, l1, l2))
 	stim := tensor.Full(1, 6, 2)
 	res := graphRun(net, stim)
 	if l4 := L4(net, res).Value.Data()[0]; l4 != 0 {

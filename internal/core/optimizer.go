@@ -77,7 +77,7 @@ func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor)
 	for t := 0; t < o.steps; t++ {
 		frameNode := ag.STE(ag.Slice(soft, t*o.frame, o.frame, o.net.InShape...), 0.5)
 		stepNodes[t] = frameNode
-		copy(stim.Data()[t*o.frame:(t+1)*o.frame], frameNode.Value.Data())
+		copy(stim.RawRange(t*o.frame, o.frame), frameNode.Value.Data())
 	}
 	return o.net.RunGraph(stepNodes), stim
 }
@@ -123,7 +123,7 @@ func (o *chunkOptimizer) stage1Losses(res *snn.GraphResult, mask *LayerMask, tdM
 // budget and returns the best stimulus visited, ranked by output-layer
 // firing (L1) first, newly activated target neurons second, and the
 // aggregate loss last.
-func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int) stageOutcome {
+func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int) (stageOutcome, error) {
 	steps := o.cfg.Steps1
 	lrSched := o.cfg.lrSchedule(steps)
 	tauSched := o.cfg.tauSchedule(steps)
@@ -172,11 +172,13 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 		}
 
 		o.adam.ZeroGrad()
-		ag.Backward(total)
+		if err := ag.Backward(total); err != nil {
+			return stageOutcome{}, err
+		}
 		o.adam.LR = lrSched.At(s)
 		o.adam.Step()
 	}
-	return best
+	return best, nil
 }
 
 // runStage2 fine-tunes the chunk to minimize L5 while keeping the output
@@ -187,7 +189,7 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 // from the incumbent's own traffic (rather than +∞) prevents a
 // degenerate collapse to a near-silent stimulus when the reference output
 // carries few spikes.
-func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) stageOutcome {
+func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stageOutcome, error) {
 	steps := o.cfg.steps2()
 	lrSched := o.cfg.lrSchedule(steps)
 	tauSched := o.cfg.tauSchedule(steps)
@@ -217,11 +219,13 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) stageO
 		}
 
 		o.adam.ZeroGrad()
-		ag.Backward(total)
+		if err := ag.Backward(total); err != nil {
+			return stageOutcome{}, err
+		}
 		o.adam.LR = lrSched.At(s)
 		o.adam.Step()
 	}
-	return best
+	return best, nil
 }
 
 // hiddenTraffic returns the total hidden-layer spike count the stimulus

@@ -90,7 +90,7 @@ func TestGenerateBinaryProperty(t *testing.T) {
 		net := smallNet(seed)
 		c := cfg
 		c.Seed = seed + 1
-		res := Generate(net, c)
+		res := must(Generate(net, c))
 		if res.TotalSteps() < 1 {
 			return false
 		}
@@ -113,7 +113,7 @@ func TestActivatedMonotoneProperty(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Steps1 = 25
 	cfg.Seed = 8
-	res := Generate(net, cfg)
+	res := must(Generate(net, cfg))
 	prev := -1
 	for _, tr := range res.Trace {
 		if tr.TotalActivated < prev {

@@ -51,7 +51,8 @@ func (d *Dataset) Inputs(split string) ([]*tensor.Tensor, []int) {
 	case "test":
 		s = d.Test
 	default:
-		panic(fmt.Sprintf("dataset: unknown split %q", split))
+		// Programmer error: the split names are a closed enum.
+		failf("unknown split %q (want train or test)", split)
 	}
 	ins := make([]*tensor.Tensor, len(s))
 	labels := make([]int, len(s))
@@ -79,16 +80,16 @@ func DefaultConfig() Config {
 // ForBenchmark generates the synthetic dataset matching a benchmark
 // network's input geometry. The network must come from one of the
 // snn.Build* constructors.
-func ForBenchmark(net *snn.Network, cfg Config) *Dataset {
+func ForBenchmark(net *snn.Network, cfg Config) (*Dataset, error) {
 	switch net.Name {
 	case "nmnist":
-		return GenNMNIST(cfg, net.InShape[1])
+		return GenNMNIST(cfg, net.InShape[1]), nil
 	case "ibm-gesture":
-		return GenGesture(cfg, net.InShape[1])
+		return GenGesture(cfg, net.InShape[1]), nil
 	case "shd":
-		return GenSHD(cfg, net.InShape[0])
+		return GenSHD(cfg, net.InShape[0]), nil
 	default:
-		panic(fmt.Sprintf("dataset: no generator for benchmark %q", net.Name))
+		return nil, fmt.Errorf("dataset: no generator for benchmark %q", net.Name)
 	}
 }
 
@@ -145,7 +146,7 @@ func nmnistSample(rng *rand.Rand, h, steps, label int) *tensor.Tensor {
 		cur := glyphFrame(h, angle, jx, jy, dotPhase, ox, oy)
 		ev := encode.EventsFromMotion(prev, cur, 0.04)
 		dropoutEvents(rng, ev, 0.1)
-		copy(out.Data()[t*2*h*h:(t+1)*2*h*h], ev.Data())
+		out.Step(t).CopyFrom(ev)
 		prev = cur
 	}
 	return out
@@ -215,7 +216,7 @@ func gestureSample(rng *rand.Rand, h, steps, label int) *tensor.Tensor {
 		cur := blobFrame(h, gesturePos(label, float64(t+1)/float64(steps), phase, speed, h))
 		ev := encode.EventsFromMotion(prev, cur, 0.04)
 		dropoutEvents(rng, ev, 0.1)
-		copy(out.Data()[t*2*h*h:(t+1)*2*h*h], ev.Data())
+		out.Step(t).CopyFrom(ev)
 		prev = cur
 	}
 	return out
@@ -359,4 +360,10 @@ func dropoutEvents(rng *rand.Rand, ev *tensor.Tensor, p float64) {
 			d[i] = 0
 		}
 	}
+}
+
+// failf is the package's invariant-check chokepoint for closed-enum
+// misuse that validated entry points have already excluded.
+func failf(format string, args ...any) {
+	panic("dataset: " + fmt.Sprintf(format, args...))
 }

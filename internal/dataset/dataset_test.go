@@ -128,11 +128,11 @@ func avgDist(ts ...*tensor.Tensor) float64 {
 func TestForBenchmarkMatchesNetworks(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	cfg := Config{TrainPerClass: 1, TestPerClass: 1, Steps: 8, Seed: 5}
-	for _, build := range []func(*rand.Rand, snn.ModelScale) *snn.Network{
+	for _, build := range []func(*rand.Rand, snn.ModelScale) (*snn.Network, error){
 		snn.BuildNMNIST, snn.BuildIBMGesture, snn.BuildSHD,
 	} {
-		net := build(rng, snn.ScaleTiny)
-		ds := ForBenchmark(net, cfg)
+		net := must(build(rng, snn.ScaleTiny))
+		ds := must(ForBenchmark(net, cfg))
 		// The generated samples must be directly runnable on the network.
 		rec := net.Run(ds.Train[0].Input)
 		if rec.Steps != 8 {
@@ -144,15 +144,12 @@ func TestForBenchmarkMatchesNetworks(t *testing.T) {
 	}
 }
 
-func TestForBenchmarkUnknownPanics(t *testing.T) {
-	net := snn.NewNetwork("mystery", []int{1}, 1.0,
-		snn.NewLayer("d", snn.NewDenseProj(tensor.New(1, 1)), snn.DefaultLIF()))
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	ForBenchmark(net, DefaultConfig())
+func TestForBenchmarkUnknownErrors(t *testing.T) {
+	net := must(snn.NewNetwork("mystery", []int{1}, 1.0,
+		must(snn.NewLayer("d", must(snn.NewDenseProj(tensor.New(1, 1))), snn.DefaultLIF()))))
+	if _, err := ForBenchmark(net, DefaultConfig()); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
 }
 
 func TestInputsSplit(t *testing.T) {

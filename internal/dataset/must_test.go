@@ -1,0 +1,10 @@
+package dataset
+
+// must unwraps a (value, error) constructor result in test fixtures,
+// panicking on error — fixture construction failures are test bugs.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

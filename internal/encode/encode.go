@@ -18,7 +18,7 @@ import (
 // has shape [T, frame...].
 func Rate(rng *rand.Rand, frame *tensor.Tensor, steps int, maxRate float64) *tensor.Tensor {
 	if maxRate < 0 || maxRate > 1 {
-		panic(fmt.Sprintf("encode: maxRate must be in [0,1], got %g", maxRate))
+		failf("maxRate must be in [0,1], got %g", maxRate)
 	}
 	out := tensor.New(append([]int{steps}, frame.Shape()...)...)
 	n := frame.Len()
@@ -61,7 +61,7 @@ func TTFS(frame *tensor.Tensor, steps int, threshold float64) *tensor.Tensor {
 func Counts(stim *tensor.Tensor) *tensor.Tensor {
 	shape := stim.Shape()
 	if len(shape) < 2 {
-		panic(fmt.Sprintf("encode: stimulus must be [T, frame...], got %v", shape))
+		failf("stimulus must be [T, frame...], got %v", shape)
 	}
 	steps := shape[0]
 	frame := stim.Len() / steps
@@ -102,7 +102,7 @@ func FirstSpikeTimes(stim *tensor.Tensor) []int {
 // frames must share shape [H,W]; the result is [2,H,W].
 func EventsFromMotion(prev, cur *tensor.Tensor, eps float64) *tensor.Tensor {
 	if !tensor.SameShape(prev, cur) || prev.Rank() != 2 {
-		panic(fmt.Sprintf("encode: EventsFromMotion requires matching [H,W] frames, got %v and %v", prev.Shape(), cur.Shape()))
+		failf("EventsFromMotion requires matching [H,W] frames, got %v and %v", prev.Shape(), cur.Shape())
 	}
 	h, w := prev.Dim(0), prev.Dim(1)
 	out := tensor.New(2, h, w)
@@ -116,4 +116,10 @@ func EventsFromMotion(prev, cur *tensor.Tensor, eps float64) *tensor.Tensor {
 		}
 	}
 	return out
+}
+
+// failf is the package's invariant-check chokepoint: encoders are
+// hot-path kernels whose shape/parameter misuse is a programmer error.
+func failf(format string, args ...any) {
+	panic("encode: " + fmt.Sprintf(format, args...))
 }

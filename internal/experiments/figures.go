@@ -8,26 +8,34 @@ import (
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/metrics"
 	"github.com/repro/snntest/internal/report"
-	"github.com/repro/snntest/internal/tensor"
 )
 
 // Fig7 renders snapshots of the optimized test stimulus at evenly spaced
 // time stamps (the paper's Fig. 7: blue/red polarity dots become '+'/'-').
-func Fig7(w io.Writer, p *Pipeline, snapshots int) {
-	gen := p.Generate()
+func Fig7(w io.Writer, p *Pipeline, snapshots int) error {
+	gen, err := p.Generate()
+	if err != nil {
+		return err
+	}
 	stim := gen.Stimulus
 	steps := stim.Dim(0)
-	frame := p.Net.InputLen()
 	if snapshots < 1 {
 		snapshots = 4
 	}
-	fmt.Fprintf(w, "Fig. 7: Snapshots of the optimized test stimulus (%s, %d steps)\n\n", p.Benchmark, steps)
+	if _, err := fmt.Fprintf(w, "Fig. 7: Snapshots of the optimized test stimulus (%s, %d steps)\n\n", p.Benchmark, steps); err != nil {
+		return err
+	}
 	for s := 0; s < snapshots; s++ {
 		t := s * (steps - 1) / max(1, snapshots-1)
-		f := tensor.FromSlice(stim.Data()[t*frame:(t+1)*frame], p.Net.InShape...)
-		report.FrameSnapshot(w, f, fmt.Sprintf("t = %d ms", int(float64(t)*p.Net.StepMS)))
-		fmt.Fprintln(w)
+		f := stim.Step(t).Reshape(p.Net.InShape...)
+		if err := report.FrameSnapshot(w, f, fmt.Sprintf("t = %d ms", int(float64(t)*p.Net.StepMS))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Fig8Data is the quantitative content of the paper's Fig. 8: neuron
@@ -38,26 +46,39 @@ type Fig8Data struct {
 }
 
 // Fig8 computes both activation maps.
-func Fig8(p *Pipeline) Fig8Data {
-	gen := p.Generate()
-	return Fig8Data{
-		Optimized: metrics.Activation(p.Net, gen.Stimulus),
-		Sample:    metrics.Activation(p.Net, p.RandomSample(3)),
+func Fig8(p *Pipeline) (Fig8Data, error) {
+	gen, err := p.Generate()
+	if err != nil {
+		return Fig8Data{}, err
 	}
+	opt, err := metrics.Activation(p.Net, gen.Stimulus)
+	if err != nil {
+		return Fig8Data{}, err
+	}
+	sample, err := metrics.Activation(p.Net, p.RandomSample(3))
+	if err != nil {
+		return Fig8Data{}, err
+	}
+	return Fig8Data{Optimized: opt, Sample: sample}, nil
 }
 
 // RenderFig8 prints the per-layer activation grids side by side.
-func RenderFig8(w io.Writer, p *Pipeline, d Fig8Data) {
+func RenderFig8(w io.Writer, p *Pipeline, d Fig8Data) error {
 	fmt.Fprintf(w, "Fig. 8: Neuron activity, optimized test vs. random dataset sample (%s)\n\n", p.Benchmark)
 	fmt.Fprintf(w, "(a) Optimized test input: %.2f%% of neurons activated\n", 100*d.Optimized.Overall)
 	for li, name := range d.Optimized.LayerNames {
-		report.ActivationGrid(w, name, d.Optimized.Activated[li], 48)
+		if err := report.ActivationGrid(w, name, d.Optimized.Activated[li], 48); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "\n(b) Random dataset sample: %.2f%% of neurons activated\n", 100*d.Sample.Overall)
 	for li, name := range d.Sample.LayerNames {
-		report.ActivationGrid(w, name, d.Sample.Activated[li], 48)
+		if err := report.ActivationGrid(w, name, d.Sample.Activated[li], 48); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // Fig9Data is the content of the paper's Fig. 9: per-class distributions
@@ -71,18 +92,24 @@ type Fig9Data struct {
 
 // Fig9 simulates the fault universe against the optimized stimulus and
 // collects the per-class output corruption distributions.
-func Fig9(p *Pipeline) Fig9Data {
-	gen := p.Generate()
-	cd := metrics.OutputSpikeDiffs(p.Net, p.Faults(), gen.Stimulus)
+func Fig9(p *Pipeline) (Fig9Data, error) {
+	gen, err := p.Generate()
+	if err != nil {
+		return Fig9Data{}, err
+	}
+	cd, err := metrics.OutputSpikeDiffs(p.Net, p.Faults(), gen.Stimulus)
+	if err != nil {
+		return Fig9Data{}, err
+	}
 	n := 0
 	if len(cd.Diffs) > 0 {
 		n = len(cd.Diffs[0])
 	}
-	return Fig9Data{Diffs: cd, DetectedFaults: n}
+	return Fig9Data{Diffs: cd, DetectedFaults: n}, nil
 }
 
 // RenderFig9 prints one histogram per output class.
-func RenderFig9(w io.Writer, p *Pipeline, d Fig9Data, bins int) {
+func RenderFig9(w io.Writer, p *Pipeline, d Fig9Data, bins int) error {
 	fmt.Fprintf(w, "Fig. 9: Per-class output spike-count difference over %d detected faults (%s)\n\n",
 		d.DetectedFaults, p.Benchmark)
 	maxDiff := 0.0
@@ -94,15 +121,18 @@ func RenderFig9(w io.Writer, p *Pipeline, d Fig9Data, bins int) {
 		}
 	}
 	if maxDiff == 0 {
-		fmt.Fprintln(w, "(no detected faults)")
-		return
+		_, err := fmt.Fprintln(w, "(no detected faults)")
+		return err
 	}
 	for c, diffs := range d.Diffs.Diffs {
 		counts, width := metrics.Histogram(diffs, bins, maxDiff)
-		report.HistogramChart(w, fmt.Sprintf("class %d (p50 %.1f, p95 %.1f)",
-			c, metrics.Percentile(diffs, 0.5), metrics.Percentile(diffs, 0.95)), counts, width)
+		if err := report.HistogramChart(w, fmt.Sprintf("class %d (p50 %.1f, p95 %.1f)",
+			c, metrics.Percentile(diffs, 0.5), metrics.Percentile(diffs, 0.95)), counts, width); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -120,16 +150,28 @@ type AblationResult struct {
 
 // Ablate runs the generator with a mutated config and reports coverage
 // against the pipeline's fault universe.
-func Ablate(p *Pipeline, name string, mutate func(*core.Config)) AblationResult {
+func Ablate(p *Pipeline, name string, mutate func(*core.Config)) (AblationResult, error) {
 	faults := p.Faults()
 
-	full := p.Generate()
-	fullSim := fault.Simulate(p.Net, faults, full.Stimulus, p.Opts.Workers, nil)
+	full, err := p.Generate()
+	if err != nil {
+		return AblationResult{}, err
+	}
+	fullSim, err := fault.Simulate(p.Net, faults, full.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
 
 	cfg := p.Opts.GenConfig
 	mutate(&cfg)
-	variant := core.Generate(p.Net, cfg)
-	varSim := fault.Simulate(p.Net, faults, variant.Stimulus, p.Opts.Workers, nil)
+	variant, err := core.Generate(p.Net, cfg)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	varSim, err := fault.Simulate(p.Net, faults, variant.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
 
 	return AblationResult{
 		Name:       name,
@@ -137,11 +179,11 @@ func Ablate(p *Pipeline, name string, mutate func(*core.Config)) AblationResult 
 		VariantFC:  100 * float64(varSim.NumDetected()) / float64(len(faults)),
 		FullSteps:  full.TotalSteps(),
 		VariantVar: variant.TotalSteps(),
-	}
+	}, nil
 }
 
 // RenderAblations prints the ablation comparison table.
-func RenderAblations(w io.Writer, rows []AblationResult) {
+func RenderAblations(w io.Writer, rows []AblationResult) error {
 	table := make([][]string, len(rows))
 	for i, r := range rows {
 		table[i] = []string{
@@ -151,7 +193,7 @@ func RenderAblations(w io.Writer, rows []AblationResult) {
 			fmt.Sprintf("%+.2f%%", r.VariantFC-r.FullFC),
 		}
 	}
-	report.Table(w, "Ablation study (overall FC)", []string{"Variant", "Full", "Ablated", "Δ"}, table)
+	return report.Table(w, "Ablation study (overall FC)", []string{"Variant", "Full", "Ablated", "Δ"}, table)
 }
 
 func max(a, b int) int {

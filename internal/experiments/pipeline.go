@@ -101,27 +101,26 @@ type Pipeline struct {
 // NewPipeline builds, trains and evaluates one benchmark model.
 func NewPipeline(benchmark string, opts Options) (*Pipeline, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
-	var net *snn.Network
-	switch benchmark {
-	case "nmnist":
-		net = snn.BuildNMNIST(rng, opts.Scale)
-	case "ibm-gesture":
-		net = snn.BuildIBMGesture(rng, opts.Scale)
-	case "shd":
-		net = snn.BuildSHD(rng, opts.Scale)
-	default:
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", benchmark)
+	net, err := snn.Build(benchmark, rng, opts.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	steps := opts.SampleSteps
 	if steps == 0 {
-		steps = snn.SampleSteps(benchmark, opts.Scale)
+		steps, err = snn.SampleSteps(benchmark, opts.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 	}
-	ds := dataset.ForBenchmark(net, dataset.Config{
+	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: opts.TrainPerClass,
 		TestPerClass:  opts.TestPerClass,
 		Steps:         steps,
 		Seed:          opts.Seed + 1,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	trainIn, trainLab := ds.Inputs("train")
 	lr := opts.TrainLR
 	if lr == 0 {
@@ -164,24 +163,32 @@ func (p *Pipeline) Faults() []fault.Fault {
 
 // Critical returns the per-fault criticality labels from the full
 // classification campaign over the test split (the Table II labelling).
-func (p *Pipeline) Critical() []bool {
+func (p *Pipeline) Critical() ([]bool, error) {
 	if p.critical == nil {
 		testIn, _ := p.Data.Inputs("test")
 		start := time.Now()
-		p.critical = fault.Classify(p.Net, p.Faults(), testIn, p.Opts.Workers, p.progress("classify"))
+		critical, err := fault.Classify(p.Net, p.Faults(), testIn, p.Opts.Workers, p.progress("classify"))
+		if err != nil {
+			return nil, err
+		}
+		p.critical = critical
 		p.ClassifyTime = time.Since(start)
 	}
-	return p.critical
+	return p.critical, nil
 }
 
 // Generate runs the paper's test-generation algorithm, caching the result.
-func (p *Pipeline) Generate() *core.Result {
+func (p *Pipeline) Generate() (*core.Result, error) {
 	if p.gen == nil {
 		cfg := p.Opts.GenConfig
 		cfg.Log = p.Opts.Log
-		p.gen = core.Generate(p.Net, cfg)
+		gen, err := core.Generate(p.Net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.gen = gen
 	}
-	return p.gen
+	return p.gen, nil
 }
 
 // SampleStepsUsed returns the dataset sample duration in steps.

@@ -54,7 +54,7 @@ func TestPipelineEndToEndSHD(t *testing.T) {
 	}
 
 	// Table II: partition must cover the strided universe.
-	t2 := Table2(p)
+	t2 := must(Table2(p))
 	got := t2.CriticalNeuron + t2.BenignNeuron + t2.CriticalSynapse + t2.BenignSynapse
 	if got != len(p.Faults()) {
 		t.Errorf("Table2 partition %d faults, universe %d", got, len(p.Faults()))
@@ -64,7 +64,7 @@ func TestPipelineEndToEndSHD(t *testing.T) {
 	}
 
 	// Table III: percentages must be sane and activation should be high.
-	t3 := Table3(p)
+	t3 := must(Table3(p))
 	for name, v := range map[string]float64{
 		"activated": t3.ActivatedPct, "fc-cn": t3.FCCritNeuron, "fc-cs": t3.FCCritSynapse,
 		"fc-bn": t3.FCBenNeuron, "fc-bs": t3.FCBenSynapse,
@@ -84,12 +84,12 @@ func TestPipelineEndToEndSHD(t *testing.T) {
 	}
 
 	// Figures.
-	d8 := Fig8(p)
+	d8 := must(Fig8(p))
 	if d8.Optimized.Overall < d8.Sample.Overall-0.05 {
 		t.Errorf("optimized activation %.2f clearly below sample activation %.2f (paper's Fig. 8 shape)",
 			d8.Optimized.Overall, d8.Sample.Overall)
 	}
-	d9 := Fig9(p)
+	d9 := must(Fig9(p))
 	if len(d9.Diffs.Diffs) != 20 {
 		t.Errorf("Fig9 classes = %d", len(d9.Diffs.Diffs))
 	}
@@ -117,7 +117,7 @@ func TestTable4ComparisonShape(t *testing.T) {
 	// Run Table IV on the cheapest benchmark (the paper uses NMNIST; the
 	// method set is identical and SHD is far cheaper at tiny scale).
 	p := shdPipeline(t)
-	rows := Table4(p)
+	rows := must(Table4(p))
 	if len(rows) != 4 {
 		t.Fatalf("Table4 rows = %d, want 4 methods", len(rows))
 	}
@@ -144,7 +144,7 @@ func TestTable4ComparisonShape(t *testing.T) {
 
 func TestAblationRuns(t *testing.T) {
 	p := shdPipeline(t)
-	r := Ablate(p, "no-stage2", func(c *core.Config) { c.DisableStage2 = true })
+	r := must(Ablate(p, "no-stage2", func(c *core.Config) { c.DisableStage2 = true }))
 	if r.FullFC < 0 || r.FullFC > 100 || r.VariantFC < 0 || r.VariantFC > 100 {
 		t.Errorf("ablation FCs out of range: %+v", r)
 	}

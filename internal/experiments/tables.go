@@ -44,7 +44,7 @@ func Table1(p *Pipeline) Table1Row {
 }
 
 // RenderTable1 prints Table I for the given rows.
-func RenderTable1(w io.Writer, rows []Table1Row) {
+func RenderTable1(w io.Writer, rows []Table1Row) error {
 	headers := []string{"Metric"}
 	for _, r := range rows {
 		headers = append(headers, r.Benchmark)
@@ -56,7 +56,7 @@ func RenderTable1(w io.Writer, rows []Table1Row) {
 		}
 		return cells
 	}
-	report.Table(w, "Table I: Benchmark SNN characteristics", headers, [][]string{
+	return report.Table(w, "Table I: Benchmark SNN characteristics", headers, [][]string{
 		line("Prediction accuracy", func(r Table1Row) string { return fmt.Sprintf("%.2f%%", 100*r.Accuracy) }),
 		line("# Output classes", func(r Table1Row) string { return fmt.Sprint(r.Classes) }),
 		line("# Neurons", func(r Table1Row) string { return fmt.Sprint(r.Neurons) }),
@@ -83,8 +83,11 @@ type Table2Row struct {
 }
 
 // Table2 runs the criticality-labelling campaign of one pipeline.
-func Table2(p *Pipeline) Table2Row {
-	critical := p.Critical()
+func Table2(p *Pipeline) (Table2Row, error) {
+	critical, err := p.Critical()
+	if err != nil {
+		return Table2Row{}, err
+	}
 	row := Table2Row{
 		Benchmark:    p.Benchmark,
 		UniverseSize: fault.UniverseSize(p.Net, fault.DefaultOptions()),
@@ -102,11 +105,11 @@ func Table2(p *Pipeline) Table2Row {
 			row.BenignSynapse++
 		}
 	}
-	return row
+	return row, nil
 }
 
 // RenderTable2 prints Table II for the given rows.
-func RenderTable2(w io.Writer, rows []Table2Row) {
+func RenderTable2(w io.Writer, rows []Table2Row) error {
 	headers := []string{"Metric"}
 	for _, r := range rows {
 		headers = append(headers, r.Benchmark)
@@ -118,7 +121,7 @@ func RenderTable2(w io.Writer, rows []Table2Row) {
 		}
 		return cells
 	}
-	report.Table(w, "Table II: Fault simulation results", headers, [][]string{
+	return report.Table(w, "Table II: Fault simulation results", headers, [][]string{
 		line("# Critical neuron faults", func(r Table2Row) string { return fmt.Sprint(r.CriticalNeuron) }),
 		line("# Benign neuron faults", func(r Table2Row) string { return fmt.Sprint(r.BenignNeuron) }),
 		line("# Critical synapse faults", func(r Table2Row) string { return fmt.Sprint(r.CriticalSynapse) }),
@@ -149,12 +152,24 @@ type Table3Row struct {
 // Table3 generates the optimized test for one pipeline, verifies it with
 // a single final fault-simulation campaign, and assembles the efficiency
 // metrics.
-func Table3(p *Pipeline) Table3Row {
-	gen := p.Generate()
+func Table3(p *Pipeline) (Table3Row, error) {
+	gen, err := p.Generate()
+	if err != nil {
+		return Table3Row{}, err
+	}
 	faults := p.Faults()
-	critical := p.Critical()
-	sim := fault.Simulate(p.Net, faults, gen.Stimulus, p.Opts.Workers, p.progress("verify"))
-	cov := fault.Compute(faults, sim.Detected, critical)
+	critical, err := p.Critical()
+	if err != nil {
+		return Table3Row{}, err
+	}
+	sim, err := fault.Simulate(p.Net, faults, gen.Stimulus, p.Opts.Workers, p.progress("verify"))
+	if err != nil {
+		return Table3Row{}, err
+	}
+	cov, err := fault.Compute(faults, sim.Detected, critical)
+	if err != nil {
+		return Table3Row{}, err
+	}
 	testIn, testLab := p.Data.Inputs("test")
 	nDrop, sDrop := fault.MaxEscapeDrop(p.Net, faults, sim.Detected, critical, testIn, testLab)
 	return Table3Row{
@@ -169,11 +184,11 @@ func Table3(p *Pipeline) Table3Row {
 		FCBenSynapse:    100 * cov.BenignSynapse.FC(),
 		MaxDropNeuron:   100 * nDrop,
 		MaxDropSynapse:  100 * sDrop,
-	}
+	}, nil
 }
 
 // RenderTable3 prints Table III for the given rows.
-func RenderTable3(w io.Writer, rows []Table3Row) {
+func RenderTable3(w io.Writer, rows []Table3Row) error {
 	headers := []string{"Metric"}
 	for _, r := range rows {
 		headers = append(headers, r.Benchmark)
@@ -185,7 +200,7 @@ func RenderTable3(w io.Writer, rows []Table3Row) {
 		}
 		return cells
 	}
-	report.Table(w, "Table III: Test generation efficiency metrics", headers, [][]string{
+	return report.Table(w, "Table III: Test generation efficiency metrics", headers, [][]string{
 		line("Test generation runtime", func(r Table3Row) string { return r.GenRuntime.Round(time.Millisecond).String() }),
 		line("Test duration (samples)", func(r Table3Row) string { return fmt.Sprintf("%.2f", r.DurationSamples) }),
 		line("Test duration (time)", func(r Table3Row) string { return fmt.Sprintf("%.3fs", r.DurationSec) }),
@@ -219,14 +234,20 @@ type Table4Row struct {
 // Table4 runs every method on the pipeline's model and fault universe.
 // The pipeline should be the NMNIST one, the only benchmark shared by all
 // prior works.
-func Table4(p *Pipeline) []Table4Row {
+func Table4(p *Pipeline) ([]Table4Row, error) {
 	faults := p.Faults()
-	critical := p.Critical()
+	critical, err := p.Critical()
+	if err != nil {
+		return nil, err
+	}
 	sampleSteps := p.SampleStepsUsed()
 	trainIn, trainLab := p.Data.Inputs("train")
 
-	evalRow := func(method, stype string, genTime time.Duration, sims, configs, steps int, detected []bool) Table4Row {
-		cov := fault.Compute(faults, detected, critical)
+	evalRow := func(method, stype string, genTime time.Duration, sims, configs, steps int, detected []bool) (Table4Row, error) {
+		cov, err := fault.Compute(faults, detected, critical)
+		if err != nil {
+			return Table4Row{}, err
+		}
 		return Table4Row{
 			Method:          method,
 			StimulusType:    stype,
@@ -236,44 +257,84 @@ func Table4(p *Pipeline) []Table4Row {
 			DurationSamples: float64(steps) / float64(sampleSteps),
 			DurationSec:     metrics.DurationSeconds(p.Net, steps),
 			CriticalFC:      100 * cov.CriticalFC(),
-		}
+		}, nil
 	}
 
 	var rows []Table4Row
+	addRow := func(method, stype string, genTime time.Duration, sims, configs, steps int, detected []bool) error {
+		row, err := evalRow(method, stype, genTime, sims, configs, steps, detected)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		return nil
+	}
 	cfg := baseline.DefaultConfig()
 	cfg.Workers = p.Opts.Workers
 
 	// [17]/[19]-style adversarial greedy.
-	adv := baseline.Adversarial17(p.Net, faults, trainIn, trainLab, 0.05, cfg)
-	advSim := fault.Simulate(p.Net, faults, adv.Stimulus, p.Opts.Workers, nil)
-	rows = append(rows, evalRow("[17] adversarial", "Adversarial", adv.Runtime,
-		adv.FaultSims, 1, adv.TotalSteps(), advSim.Detected))
+	adv, err := baseline.Adversarial17(p.Net, faults, trainIn, trainLab, 0.05, cfg)
+	if err != nil {
+		return nil, err
+	}
+	advSim, err := fault.Simulate(p.Net, faults, adv.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("[17] adversarial", "Adversarial", adv.Runtime,
+		adv.FaultSims, 1, adv.TotalSteps(), advSim.Detected); err != nil {
+		return nil, err
+	}
 
 	// [18]-style dataset greedy.
-	d18 := baseline.Dataset18(p.Net, faults, trainIn, cfg)
-	d18Sim := fault.Simulate(p.Net, faults, d18.Stimulus, p.Opts.Workers, nil)
-	rows = append(rows, evalRow("[18] dataset", "Dataset", d18.Runtime,
-		d18.FaultSims, 1, d18.TotalSteps(), d18Sim.Detected))
+	d18, err := baseline.Dataset18(p.Net, faults, trainIn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d18Sim, err := fault.Simulate(p.Net, faults, d18.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("[18] dataset", "Dataset", d18.Runtime,
+		d18.FaultSims, 1, d18.TotalSteps(), d18Sim.Detected); err != nil {
+		return nil, err
+	}
 
 	// [20]-style random greedy.
 	rng := rand.New(rand.NewSource(p.Opts.Seed + 7))
-	r20 := baseline.Random20(p.Net, faults, len(trainIn), sampleSteps, 0.3, rng, cfg)
-	r20Sim := fault.Simulate(p.Net, faults, r20.Stimulus, p.Opts.Workers, nil)
-	rows = append(rows, evalRow("[20] random", "Random", r20.Runtime,
-		r20.FaultSims, 1, r20.TotalSteps(), r20Sim.Detected))
+	r20, err := baseline.Random20(p.Net, faults, len(trainIn), sampleSteps, 0.3, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r20Sim, err := fault.Simulate(p.Net, faults, r20.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("[20] random", "Random", r20.Runtime,
+		r20.FaultSims, 1, r20.TotalSteps(), r20Sim.Detected); err != nil {
+		return nil, err
+	}
 
 	// This work: optimized stimulus, no fault simulation during
 	// generation — one verification campaign at the end.
-	gen := p.Generate()
-	genSim := fault.Simulate(p.Net, faults, gen.Stimulus, p.Opts.Workers, nil)
-	rows = append(rows, evalRow("This work", "Optimized", gen.Runtime,
-		0, 1, gen.TotalSteps(), genSim.Detected))
+	gen, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	genSim, err := fault.Simulate(p.Net, faults, gen.Stimulus, p.Opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("This work", "Optimized", gen.Runtime,
+		0, 1, gen.TotalSteps(), genSim.Detected); err != nil {
+		return nil, err
+	}
 
-	return rows
+	return rows, nil
 }
 
 // RenderTable4 prints Table IV for the given rows.
-func RenderTable4(w io.Writer, rows []Table4Row) {
+func RenderTable4(w io.Writer, rows []Table4Row) error {
 	headers := []string{"Metric"}
 	for _, r := range rows {
 		headers = append(headers, r.Method)
@@ -285,7 +346,7 @@ func RenderTable4(w io.Writer, rows []Table4Row) {
 		}
 		return cells
 	}
-	report.Table(w, "Table IV: Comparison with previous works (NMNIST)", headers, [][]string{
+	return report.Table(w, "Table IV: Comparison with previous works (NMNIST)", headers, [][]string{
 		line("Test stimulus type", func(r Table4Row) string { return r.StimulusType }),
 		line("Test generation time", func(r Table4Row) string { return r.GenTime.Round(time.Millisecond).String() }),
 		line("Fault sims during generation", func(r Table4Row) string { return fmt.Sprint(r.FaultSims) }),

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -73,8 +74,14 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 // fault is detected if the output spike trains differ from the golden
 // response in L1 (Eq. 3). workers ≤ 0 uses GOMAXPROCS. progress, when
 // non-nil, is called periodically with the number of completed faults.
-func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, workers int, progress func(done int)) *SimResult {
+func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, workers int, progress func(done int)) (*SimResult, error) {
 	start := time.Now()
+	if _, err := golden.CheckInput(stimulus); err != nil {
+		return nil, fmt.Errorf("fault: Simulate: %w", err)
+	}
+	if err := Validate(golden, faults); err != nil {
+		return nil, err
+	}
 	goldenOut := golden.Run(stimulus).Output()
 	res := &SimResult{Detected: make([]bool, len(faults))}
 	var done int64
@@ -96,14 +103,22 @@ func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, work
 		}
 	})
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // Classify labels each fault critical (true) or benign (false): a fault
 // is critical when it flips the top-1 prediction of at least one of the
 // labelled evaluation stimuli (the paper's criterion). This is the
 // expensive full-dataset campaign of Table II.
-func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, workers int, progress func(done int)) []bool {
+func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, workers int, progress func(done int)) ([]bool, error) {
+	for si, s := range samples {
+		if _, err := golden.CheckInput(s); err != nil {
+			return nil, fmt.Errorf("fault: Classify: sample %d: %w", si, err)
+		}
+	}
+	if err := Validate(golden, faults); err != nil {
+		return nil, err
+	}
 	goldenPred := make([]int, len(samples))
 	for i, s := range samples {
 		goldenPred[i] = golden.Predict(s)
@@ -129,7 +144,7 @@ func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, wor
 			mu.Unlock()
 		}
 	})
-	return critical
+	return critical, nil
 }
 
 // AccuracyDrop returns how much the network's top-1 accuracy on the

@@ -34,9 +34,9 @@ func (c ClassCoverage) String() string {
 
 // Compute tallies coverage per class from parallel detected/critical
 // flags over the fault list.
-func Compute(faults []Fault, detected, critical []bool) Coverage {
+func Compute(faults []Fault, detected, critical []bool) (Coverage, error) {
 	if len(faults) != len(detected) || len(faults) != len(critical) {
-		panic(fmt.Sprintf("fault: Compute length mismatch %d/%d/%d", len(faults), len(detected), len(critical)))
+		return Coverage{}, fmt.Errorf("fault: Compute length mismatch: %d faults, %d detected flags, %d critical flags", len(faults), len(detected), len(critical))
 	}
 	cov := Coverage{TotalFaults: len(faults)}
 	for i, f := range faults {
@@ -56,7 +56,7 @@ func Compute(faults []Fault, detected, critical []bool) Coverage {
 			cc.Detected++
 		}
 	}
-	return cov
+	return cov, nil
 }
 
 // OverallFC returns the coverage over the entire universe regardless of

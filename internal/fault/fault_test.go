@@ -12,9 +12,9 @@ import (
 // tinyNet builds a small dense 2-layer network with moderate activity.
 func tinyNet(seed int64) *snn.Network {
 	rng := rand.New(rand.NewSource(seed))
-	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 6, 4)), snn.DefaultLIF())
-	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 3, 6)), snn.DefaultLIF())
-	return snn.NewNetwork("tiny", []int{4}, 1.0, l1, l2)
+	l1 := must(snn.NewLayer("h", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 6, 4))), snn.DefaultLIF()))
+	l2 := must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 3, 6))), snn.DefaultLIF()))
+	return must(snn.NewNetwork("tiny", []int{4}, 1.0, l1, l2))
 }
 
 func denseStim(seed int64, net *snn.Network, steps int) *tensor.Tensor {
@@ -230,7 +230,7 @@ func TestSimulateDetectsInjectedFaults(t *testing.T) {
 		{Kind: NeuronSaturated, Layer: 1, Neuron: 1},
 		{Kind: NeuronSaturated, Layer: 1, Neuron: 2},
 	}
-	res := Simulate(net, faults, stim, 1, nil)
+	res := must(Simulate(net, faults, stim, 1, nil))
 	golden := net.Run(stim)
 	for i := range faults {
 		count := tensor.Sum(golden.NeuronTrain(1, faults[i].Neuron))
@@ -247,8 +247,8 @@ func TestSimulateParallelMatchesSerial(t *testing.T) {
 	net := tinyNet(13)
 	stim := denseStim(14, net, 15)
 	faults := Enumerate(net, DefaultOptions())
-	serial := Simulate(net, faults, stim, 1, nil)
-	parallel := Simulate(net, faults, stim, 4, nil)
+	serial := must(Simulate(net, faults, stim, 1, nil))
+	parallel := must(Simulate(net, faults, stim, 4, nil))
 	for i := range faults {
 		if serial.Detected[i] != parallel.Detected[i] {
 			t.Fatalf("fault %d (%v): serial %v, parallel %v", i, faults[i], serial.Detected[i], parallel.Detected[i])
@@ -277,7 +277,7 @@ func TestZeroStimulusDetectsOnlySaturation(t *testing.T) {
 	net := tinyNet(17)
 	stim := net.ZeroInput(10)
 	faults := Enumerate(net, DefaultOptions())
-	res := Simulate(net, faults, stim, 1, nil)
+	res := must(Simulate(net, faults, stim, 1, nil))
 	for i, f := range faults {
 		if res.Detected[i] && f.Kind != NeuronSaturated {
 			t.Errorf("fault %v detected by zero stimulus", f)
@@ -298,7 +298,7 @@ func TestClassifyCriticalFaults(t *testing.T) {
 		{Kind: NeuronSaturated, Layer: 1, Neuron: 0}, // floods class 0: flips anything not predicted 0
 		{Kind: SynapseDead, Layer: 0, Synapse: 0},
 	}
-	critical := Classify(net, faults, samples, 1, nil)
+	critical := must(Classify(net, faults, samples, 1, nil))
 	pred := net.Predict(samples[0])
 	pred2 := net.Predict(samples[1])
 	if pred != 0 || pred2 != 0 {
@@ -318,7 +318,7 @@ func TestComputeCoverage(t *testing.T) {
 	}
 	detected := []bool{true, false, true, true}
 	critical := []bool{true, true, false, true}
-	cov := Compute(faults, detected, critical)
+	cov := must(Compute(faults, detected, critical))
 	if cov.CriticalNeuron.Detected != 1 || cov.CriticalNeuron.Total != 2 {
 		t.Errorf("critical neuron = %v", cov.CriticalNeuron)
 	}

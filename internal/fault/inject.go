@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/repro/snntest/internal/snn"
@@ -92,7 +91,10 @@ func (inj *Injector) Apply(f Fault) (revert func()) {
 		return func() { *w = prev }
 
 	default:
-		panic(fmt.Sprintf("fault: unknown kind %v", f.Kind))
+		// Unreachable after Validate: campaign entry points reject
+		// unknown kinds before any injection loop starts.
+		failf("unknown kind %v", f.Kind)
+		return nil
 	}
 }
 

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags two sources of run-to-run nondeterminism that would
+// silently invalidate the repo's bit-reproducible fault-coverage
+// numbers:
+//
+//  1. calls to math/rand's package-level functions, which draw from the
+//     shared globally-seeded source (constructors like rand.New and
+//     rand.NewSource are fine — they are how seeded *rand.Rand values
+//     are made);
+//  2. range statements over maps whose body accumulates into floats
+//     (iteration order changes floating-point rounding) or appends to a
+//     slice (iteration order becomes data) — unless the enclosing
+//     function visibly sorts, which is the canonical
+//     collect-keys-then-sort fix.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags global math/rand use and order-sensitive map iteration",
+	Run:  runDeterminism,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorts := callsSort(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" &&
+						fn.Type().(*types.Signature).Recv() == nil &&
+						globalRandFuncs[fn.Name()] {
+						p.Reportf(e.Pos(), "rand.%s draws from the shared global source; thread a seeded *rand.Rand instead", fn.Name())
+					}
+				case *ast.RangeStmt:
+					if t := p.Info.TypeOf(e.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							if reason := orderSensitive(p, e.Body, sorts); reason != "" {
+								p.Reportf(e.Pos(), "map iteration order is random and the body %s; iterate over sorted keys", reason)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// orderSensitive reports why a map-range body leaks iteration order into
+// its results, or "" if it does not. sorted suppresses the append check:
+// collecting keys for a subsequent sort is the canonical fix.
+func orderSensitive(p *Pass, body *ast.BlockStmt, sorted bool) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(p.Info.TypeOf(lhs)) {
+					reason = "accumulates into a float (rounding depends on order)"
+					return false
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			if sorted {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) {
+					reason = "appends in map order"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// callsSort reports whether the function body calls anything from
+// package sort or slices (a visible "results are re-ordered" signal).
+func callsSort(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if path := fn.Pkg().Path(); path == "sort" || path == "slices" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

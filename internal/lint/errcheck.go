@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags call statements that silently discard an error
+// result in the binaries (cmd/...) and in internal/experiments — the
+// two places whose output IS the deliverable, so a swallowed write
+// error means a silently truncated table. Deliberate discards stay
+// available: deferred calls are skipped (the close-on-cleanup idiom),
+// `_ = f()` is an explicit marker, and package fmt is exempt
+// (terminal-print best effort).
+var ErrcheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flags discarded error returns in cmd/ and internal/experiments",
+	Run:  runErrcheckLite,
+}
+
+func runErrcheckLite(p *Pass) {
+	rel := strings.TrimPrefix(p.Path, p.Module.Path+"/")
+	if !strings.HasPrefix(rel, "cmd/") && rel != "internal/experiments" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if returnsError(p, call) && !isFmtCall(p, call) {
+				p.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _ explicitly", exprString(p, call.Fun))
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is or contains
+// error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType) || types.AssignableTo(t, errorType)
+}
+
+// isFmtCall reports whether the called function belongs to package fmt.
+func isFmtCall(p *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+func exprString(p *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutinejoin flags functions that start goroutines without a visible
+// join in the same function body: a (*sync.WaitGroup).Wait call, a
+// channel send/receive, a select statement, or a range over a channel.
+// Fire-and-forget goroutines make fault-simulation campaigns
+// nondeterministic and leak under load; the parallel-simulator PRs this
+// gate prepares for must keep every worker pool joined.
+var Goroutinejoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "flags go statements with no visible join in the enclosing function",
+	Run:  runGoroutinejoin,
+}
+
+func runGoroutinejoin(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var goStmts []*ast.GoStmt
+			joined := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.GoStmt:
+					goStmts = append(goStmts, e)
+				case *ast.SendStmt, *ast.SelectStmt:
+					joined = true
+				case *ast.UnaryExpr:
+					if e.Op.String() == "<-" {
+						joined = true
+					}
+				case *ast.RangeStmt:
+					if t := p.Info.TypeOf(e.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							joined = true
+						}
+					}
+				case *ast.SelectorExpr:
+					if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Wait" {
+						joined = true
+					}
+				}
+				return true
+			})
+			if joined {
+				continue
+			}
+			for _, g := range goStmts {
+				p.Reportf(g.Pos(), "goroutine started in %s has no visible join; add a WaitGroup.Wait or channel synchronization in the same function", fd.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package lint is a small, dependency-free static-analysis framework
+// built on the standard library's go/parser, go/ast and go/types, plus
+// the repo-specific analyzers that guard this reproduction's invariants:
+//
+//   - rawdata: arithmetic indexing into raw tensor Data() slices must
+//     stay inside internal/tensor (shape-safety boundary),
+//   - panicfree: library packages return errors; naked panics are only
+//     allowed inside named invariant-check helpers,
+//   - determinism: no global math/rand state, no map-iteration-order
+//     leaking into numeric results,
+//   - goroutinejoin: every go statement needs a visible join,
+//   - errchecklite: cmd/ and internal/experiments must not discard
+//     error returns,
+//   - stdlibonly: imports stay standard-library or module-internal.
+//
+// The cmd/snnlint CLI drives these over the whole module; verify.sh
+// wires them into the tier-1+ gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Fset   *token.FileSet
+	Path   string // package import path
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Module *Module
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly}
+}
+
+// Run applies the analyzers to every package of the module plus the
+// module-level go.mod dependency check, returning diagnostics sorted by
+// file, line and column.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     mod.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Module:   mod,
+				analyzer: a,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a == StdlibOnly {
+			diags = append(diags, goModDiagnostics(mod)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// RunPackage applies one analyzer to a single package — the golden-test
+// entry point.
+func RunPackage(mod *Module, pkg *Package, a *Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	a.Run(&Pass{
+		Fset:     mod.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Module:   mod,
+		analyzer: a,
+		diags:    &diags,
+	})
+	return diags
+}

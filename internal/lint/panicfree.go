@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panicfree flags naked panic(...) calls in library packages
+// (internal/...). Library code reports failures as errors; the only
+// exception is the per-package invariant-check helpers (failf, checkf,
+// assertSameShape, must*-prefixed functions), which document hot-path
+// programmer-error chokepoints. A panic inside any other function —
+// including closures it contains — is a finding.
+var Panicfree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "flags naked panics in internal/ packages outside allowlisted invariant helpers",
+	Run:  runPanicfree,
+}
+
+// panicAllowlist names the invariant-helper functions that may contain
+// panic calls. must*/Must* prefixed functions are also allowed.
+var panicAllowlist = map[string]bool{
+	"failf":           true,
+	"checkf":          true,
+	"invariantf":      true,
+	"assertSameShape": true,
+}
+
+func allowedPanicker(name string) bool {
+	return panicAllowlist[name] ||
+		strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+func runPanicfree(p *Pass) {
+	if !strings.Contains("/"+p.Path+"/", "/internal/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || allowedPanicker(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				p.Reportf(call.Pos(), "naked panic in library function %s; return an error or route through an invariant helper (failf)", fd.Name.Name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tensorPkgSuffix identifies the package that owns raw layout math.
+const tensorPkgSuffix = "/internal/tensor"
+
+// Rawdata flags index or slice expressions applied directly to a tensor
+// Data() call with arithmetic in the index/bounds, outside
+// internal/tensor. Stride arithmetic on the raw backing slice bypasses
+// every shape check; such code must go through the bounds-checked
+// accessors (At, Step, RawRange, ElemPtr) or move into internal/tensor.
+// Simple indexing (Data()[i], Data()[0]) and whole-slice iteration are
+// tolerated.
+var Rawdata = &Analyzer{
+	Name: "rawdata",
+	Doc:  "flags arithmetic indexing into raw tensor Data() slices outside internal/tensor",
+	Run:  runRawdata,
+}
+
+func runRawdata(p *Pass) {
+	if strings.HasSuffix(p.Path, tensorPkgSuffix) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.IndexExpr:
+				if isTensorDataCall(p, e.X) && containsArith(e.Index) {
+					p.Reportf(e.Pos(), "arithmetic index into raw tensor Data() slice; use a bounds-checked accessor (At/Step/RawRange/ElemPtr) or move the kernel into internal/tensor")
+				}
+			case *ast.SliceExpr:
+				if isTensorDataCall(p, e.X) && (containsArith(e.Low) || containsArith(e.High)) {
+					p.Reportf(e.Pos(), "arithmetic slice bounds on raw tensor Data() slice; use Step or RawRange instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isTensorDataCall reports whether x is a call to (*tensor.Tensor).Data.
+func isTensorDataCall(p *Pass, x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Data" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), tensorPkgSuffix)
+}
+
+// containsArith reports whether the expression contains any binary
+// arithmetic (the signature of hand-rolled stride math).
+func containsArith(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BinaryExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the repo's dependency policy: every import is
+// either standard library (first path element has no dot) or
+// module-internal. The paired module-level check (goModDiagnostics)
+// flags any require directive in go.mod, so the policy holds even for
+// dependencies that no file imports yet. This analyzer is purely
+// syntactic — it must not consult type info, so it also runs on
+// parse-only fixture packages.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "flags non-stdlib, non-module imports (dependency-free policy)",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(p *Pass) {
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "C" {
+				p.Reportf(spec.Pos(), `import "C" (cgo) violates the stdlib-only policy`)
+				continue
+			}
+			if path == p.Module.Path || strings.HasPrefix(path, p.Module.Path+"/") {
+				continue
+			}
+			first := path
+			if i := strings.IndexByte(path, '/'); i >= 0 {
+				first = path[:i]
+			}
+			if strings.Contains(first, ".") {
+				p.Reportf(spec.Pos(), "non-stdlib import %q; this module is stdlib-only by policy", path)
+			}
+		}
+	}
+}
+
+// goModDiagnostics flags require directives in go.mod under the same
+// stdlib-only policy.
+func goModDiagnostics(mod *Module) []Diagnostic {
+	var diags []Diagnostic
+	inBlock := false
+	for i, raw := range strings.Split(mod.GoMod, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		report := func(dep string) {
+			diags = append(diags, Diagnostic{
+				Analyzer: StdlibOnly.Name,
+				File:     mod.Dir + "/go.mod",
+				Line:     i + 1,
+				Col:      1,
+				Message:  "go.mod requires " + dep + "; this module is stdlib-only by policy",
+			})
+		}
+		switch {
+		case inBlock:
+			if line == ")" {
+				inBlock = false
+			} else if line != "" {
+				report(strings.Fields(line)[0])
+			}
+		case line == "require (":
+			inBlock = true
+		case strings.HasPrefix(line, "require "):
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				report(fields[1])
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,55 @@
+// Golden fixture for the determinism analyzer: global math/rand use and
+// order-sensitive map iteration are flagged; seeded *rand.Rand values
+// and the collect-keys-then-sort idiom are clean.
+package determinismfix
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the shared global source"
+}
+
+func badGlobalIntn(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the shared global source"
+}
+
+func badFloatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "accumulates into a float"
+		total += v
+	}
+	return total
+}
+
+func badAppendInMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends in map order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func okSeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func okSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okIntAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Golden fixture for the errchecklite analyzer: call statements in
+// cmd/ packages that discard an error result are flagged; explicit
+// `_ =` discards, deferred calls and package fmt are exempt.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func work() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func badDiscards(path string) {
+	work()          // want "result of work includes an error that is discarded"
+	os.Remove(path) // want "result of os.Remove includes an error that is discarded"
+	pair()          // want "result of pair includes an error that is discarded"
+}
+
+func okHandled(path string) {
+	if err := work(); err != nil {
+		fmt.Println(err)
+	}
+	_ = os.Remove(path)
+	fmt.Println("best-effort terminal print")
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+}

@@ -1,0 +1,35 @@
+// Golden fixture for the goroutinejoin analyzer: a go statement with no
+// visible join in the enclosing function is flagged; WaitGroup.Wait and
+// channel synchronization count as joins.
+package goroutinejoinfix
+
+import "sync"
+
+func badFireAndForget(work func()) {
+	go work() // want "goroutine started in badFireAndForget has no visible join"
+}
+
+func badDoubleLaunch(work func()) {
+	go work() // want "goroutine started in badDoubleLaunch has no visible join"
+	go work() // want "goroutine started in badDoubleLaunch has no visible join"
+}
+
+func okWaitGroupJoin(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func okChannelJoin(work func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+func okNoGoroutines(work func()) {
+	work()
+}

@@ -1,0 +1,40 @@
+// Golden fixture for the panicfree analyzer: naked panics in library
+// (internal/...) functions are flagged; the allowlisted invariant
+// helpers (failf, checkf, assertSameShape, must*/Must* prefixes) may
+// panic freely.
+package panicfreefix
+
+import "fmt"
+
+func badNakedPanic(x int) int {
+	if x < 0 {
+		panic("negative input") // want "naked panic in library function badNakedPanic"
+	}
+	return x
+}
+
+func badPanicInClosure() func() {
+	return func() {
+		panic("inner") // want "naked panic in library function badPanicInClosure"
+	}
+}
+
+// failf is an allowlisted invariant helper: its panic is the documented
+// chokepoint for programmer errors.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}
+
+func mustPositive(x int) int {
+	if x <= 0 {
+		panic("not positive")
+	}
+	return x
+}
+
+func okUsesHelper(x int) int {
+	if x < 0 {
+		failf("bad x %d", x)
+	}
+	return mustPositive(x)
+}

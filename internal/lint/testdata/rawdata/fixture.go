@@ -1,0 +1,36 @@
+// Golden fixture for the rawdata analyzer: arithmetic indexing into a
+// raw tensor Data() slice is flagged outside internal/tensor; simple
+// indexing, whole-slice iteration and the bounds-checked accessors are
+// tolerated.
+package rawdatafix
+
+import "github.com/repro/snntest/internal/tensor"
+
+func badStrideIndex(t *tensor.Tensor, i int) float64 {
+	return t.Data()[i*3+1] // want "arithmetic index into raw tensor Data() slice"
+}
+
+func badSliceBounds(t *tensor.Tensor, off, n int) []float64 {
+	return t.Data()[off*2 : off*2+n] // want "arithmetic slice bounds on raw tensor Data() slice"
+}
+
+func okConstantIndex(t *tensor.Tensor) float64 {
+	return t.Data()[0]
+}
+
+func okPlainIndex(t *tensor.Tensor, i int) float64 {
+	return t.Data()[i]
+}
+
+func okWholeSliceIteration(t *tensor.Tensor) float64 {
+	total := 0.0
+	for _, v := range t.Data() {
+		total += v
+	}
+	return total
+}
+
+func okBoundsCheckedAccessors(t *tensor.Tensor, off, n int) []float64 {
+	_ = t.At(0)
+	return t.RawRange(off*2, n)
+}

@@ -1,0 +1,22 @@
+// Golden fixture for the stdlibonly analyzer: third-party and cgo
+// imports are flagged; standard-library and module-internal imports are
+// clean. This fixture is parsed without type-checking (the flagged
+// imports cannot resolve), which also proves the analyzer is purely
+// syntactic.
+package stdlibonlyfix
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/repro/snntest/internal/tensor"
+
+	"example.com/outside/dep" // want "non-stdlib import"
+)
+
+import "C" // want "cgo"
+
+var _ = fmt.Sprintf
+var _ = rand.New
+var _ tensor.Tensor
+var _ = dep.Thing

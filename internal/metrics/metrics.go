@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/repro/snntest/internal/fault"
@@ -26,7 +27,10 @@ type ActivationMap struct {
 
 // Activation runs the network on the stimulus and maps the activated
 // neurons.
-func Activation(net *snn.Network, stimulus *tensor.Tensor) ActivationMap {
+func Activation(net *snn.Network, stimulus *tensor.Tensor) (ActivationMap, error) {
+	if _, err := net.CheckInput(stimulus); err != nil {
+		return ActivationMap{}, fmt.Errorf("metrics: Activation: %w", err)
+	}
 	rec := net.Run(stimulus)
 	m := ActivationMap{
 		LayerNames: make([]string, len(net.Layers)),
@@ -51,7 +55,7 @@ func Activation(net *snn.Network, stimulus *tensor.Tensor) ActivationMap {
 		act += layerAct
 	}
 	m.Overall = float64(act) / float64(total)
-	return m
+	return m, nil
 }
 
 // ClassDiffs holds, for each output class, the distribution of
@@ -66,7 +70,13 @@ type ClassDiffs struct {
 // OutputSpikeDiffs simulates every fault against the stimulus and
 // collects, for the detected ones, the per-class absolute spike-count
 // difference with respect to the fault-free response.
-func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.Tensor) ClassDiffs {
+func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.Tensor) (ClassDiffs, error) {
+	if _, err := net.CheckInput(stimulus); err != nil {
+		return ClassDiffs{}, fmt.Errorf("metrics: OutputSpikeDiffs: %w", err)
+	}
+	if err := fault.Validate(net, faults); err != nil {
+		return ClassDiffs{}, err
+	}
 	goldenCounts := net.Run(stimulus).OutputCounts()
 	classes := goldenCounts.Len()
 	cd := ClassDiffs{Diffs: make([][]float64, classes)}
@@ -90,7 +100,7 @@ func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.T
 			cd.Diffs[c] = append(cd.Diffs[c], diffs[c])
 		}
 	}
-	return cd
+	return cd, nil
 }
 
 // Histogram bins values into nbins equal-width bins over [0, max]; it

@@ -12,15 +12,15 @@ import (
 
 func toyNet(seed int64) *snn.Network {
 	rng := rand.New(rand.NewSource(seed))
-	l1 := snn.NewLayer("h", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4)), snn.DefaultLIF())
-	l2 := snn.NewLayer("out", snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5)), snn.DefaultLIF())
-	return snn.NewNetwork("toy", []int{4}, 1.0, l1, l2)
+	l1 := must(snn.NewLayer("h", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 5, 4))), snn.DefaultLIF()))
+	l2 := must(snn.NewLayer("out", must(snn.NewDenseProj(tensor.RandNormal(rng, 0.25, 0.5, 3, 5))), snn.DefaultLIF()))
+	return must(snn.NewNetwork("toy", []int{4}, 1.0, l1, l2))
 }
 
 func TestActivationMap(t *testing.T) {
 	net := toyNet(1)
 	stim := tensor.RandBernoulli(rand.New(rand.NewSource(2)), 0.6, 15, 4)
-	m := Activation(net, stim)
+	m := must(Activation(net, stim))
 	if len(m.Activated) != 2 || len(m.Fractions) != 2 {
 		t.Fatal("one entry per layer expected")
 	}
@@ -34,7 +34,7 @@ func TestActivationMap(t *testing.T) {
 		}
 	}
 	// Zero stimulus activates nothing.
-	z := Activation(net, net.ZeroInput(5))
+	z := must(Activation(net, net.ZeroInput(5)))
 	if z.Overall != 0 {
 		t.Errorf("zero stimulus overall activation = %g", z.Overall)
 	}
@@ -46,7 +46,7 @@ func TestOutputSpikeDiffsDetectedOnly(t *testing.T) {
 	faults := []fault.Fault{
 		{Kind: fault.NeuronSaturated, Layer: 1, Neuron: 0}, // detectable: floods output 0
 	}
-	cd := OutputSpikeDiffs(net, faults, stim)
+	cd := must(OutputSpikeDiffs(net, faults, stim))
 	if len(cd.Diffs) != 3 {
 		t.Fatalf("classes = %d, want 3", len(cd.Diffs))
 	}
@@ -66,7 +66,7 @@ func TestOutputSpikeDiffsSkipsUndetected(t *testing.T) {
 	net := toyNet(5)
 	// Zero stimulus: a hidden dead-neuron fault is invisible.
 	faults := []fault.Fault{{Kind: fault.NeuronDead, Layer: 0, Neuron: 0}}
-	cd := OutputSpikeDiffs(net, faults, net.ZeroInput(10))
+	cd := must(OutputSpikeDiffs(net, faults, net.ZeroInput(10)))
 	if len(cd.Diffs[0]) != 0 {
 		t.Error("undetected fault must not contribute to the distribution")
 	}

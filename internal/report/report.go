@@ -2,6 +2,10 @@
 // tables (Tables I–IV), ASCII activation heatmaps (Fig. 8), stimulus
 // snapshots (Fig. 7) and spike-count-difference histograms (Fig. 9), plus
 // CSV output for downstream plotting.
+//
+// Every renderer returns the first error of the underlying writer, so a
+// full report pipeline writing to a file surfaces disk failures instead
+// of silently truncating artifacts.
 package report
 
 import (
@@ -12,9 +16,35 @@ import (
 	"github.com/repro/snntest/internal/tensor"
 )
 
+// errWriter tracks the first error of a sequence of writes; all later
+// writes become no-ops. It lets the renderers stay linear instead of
+// threading `if err != nil` through every Fprintf.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
+}
+
+func (ew *errWriter) println(args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintln(ew.w, args...)
+	}
+}
+
+func (ew *errWriter) print(args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprint(ew.w, args...)
+	}
+}
+
 // Table writes an aligned text table with a title, header row and data
 // rows.
-func Table(w io.Writer, title string, headers []string, rows [][]string) {
+func Table(w io.Writer, title string, headers []string, rows [][]string) error {
 	widths := make([]int, len(headers))
 	for i, h := range headers {
 		widths[i] = len(h)
@@ -39,40 +69,44 @@ func Table(w io.Writer, title string, headers []string, rows [][]string) {
 		}
 		return strings.TrimRight(b.String(), " ")
 	}
+	ew := &errWriter{w: w}
 	if title != "" {
-		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+		ew.printf("%s\n%s\n", title, strings.Repeat("=", len(title)))
 	}
-	fmt.Fprintln(w, line(headers))
+	ew.println(line(headers))
 	total := 0
 	for _, wd := range widths {
 		total += wd + 2
 	}
-	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	ew.println(strings.Repeat("-", total-2))
 	for _, r := range rows {
-		fmt.Fprintln(w, line(r))
+		ew.println(line(r))
 	}
-	fmt.Fprintln(w)
+	ew.println()
+	return ew.err
 }
 
 // CSV writes headers and rows in comma-separated form, quoting cells that
 // contain commas.
-func CSV(w io.Writer, headers []string, rows [][]string) {
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	ew := &errWriter{w: w}
 	writeRow := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
-				fmt.Fprint(w, ",")
+				ew.print(",")
 			}
 			if strings.ContainsAny(c, ",\"\n") {
 				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 			}
-			fmt.Fprint(w, c)
+			ew.print(c)
 		}
-		fmt.Fprintln(w)
+		ew.println()
 	}
 	writeRow(headers)
 	for _, r := range rows {
 		writeRow(r)
 	}
+	return ew.err
 }
 
 // shades maps an intensity in [0,1] to an ASCII shade.
@@ -93,7 +127,7 @@ func shade(v float64) byte {
 // ActivationGrid renders a boolean activation vector as a rectangular
 // ASCII grid of the given width ('#' activated, '.' silent) — one layer
 // of the paper's Fig. 8 custom grid layout.
-func ActivationGrid(w io.Writer, name string, activated []bool, width int) {
+func ActivationGrid(w io.Writer, name string, activated []bool, width int) error {
 	if width <= 0 {
 		width = 32
 	}
@@ -103,7 +137,8 @@ func ActivationGrid(w io.Writer, name string, activated []bool, width int) {
 			act++
 		}
 	}
-	fmt.Fprintf(w, "%s: %d/%d activated (%.1f%%)\n", name, act, len(activated), 100*float64(act)/float64(max(1, len(activated))))
+	ew := &errWriter{w: w}
+	ew.printf("%s: %d/%d activated (%.1f%%)\n", name, act, len(activated), 100*float64(act)/float64(max(1, len(activated))))
 	for i := 0; i < len(activated); i += width {
 		var b strings.Builder
 		for j := i; j < i+width && j < len(activated); j++ {
@@ -113,26 +148,28 @@ func ActivationGrid(w io.Writer, name string, activated []bool, width int) {
 				b.WriteByte('.')
 			}
 		}
-		fmt.Fprintln(w, b.String())
+		ew.println(b.String())
 	}
+	return ew.err
 }
 
 // FrameSnapshot renders one [2,H,W] polarity event frame: '+' for ON
 // events, '-' for OFF events, '*' where both fire — the paper's Fig. 7
 // stimulus snapshots (blue/red dots in the original).
-func FrameSnapshot(w io.Writer, frame *tensor.Tensor, label string) {
+func FrameSnapshot(w io.Writer, frame *tensor.Tensor, label string) error {
+	ew := &errWriter{w: w}
 	if frame.Rank() != 3 || frame.Dim(0) != 2 {
 		// Non-DVS frames render as a single-row intensity strip.
-		fmt.Fprintf(w, "%s\n", label)
+		ew.printf("%s\n", label)
 		var b strings.Builder
 		for _, v := range frame.Data() {
 			b.WriteByte(shade(v))
 		}
-		fmt.Fprintln(w, b.String())
-		return
+		ew.println(b.String())
+		return ew.err
 	}
 	h, wd := frame.Dim(1), frame.Dim(2)
-	fmt.Fprintf(w, "%s\n", label)
+	ew.printf("%s\n", label)
 	for y := 0; y < h; y++ {
 		var b strings.Builder
 		for x := 0; x < wd; x++ {
@@ -149,14 +186,16 @@ func FrameSnapshot(w io.Writer, frame *tensor.Tensor, label string) {
 				b.WriteByte('.')
 			}
 		}
-		fmt.Fprintln(w, b.String())
+		ew.println(b.String())
 	}
+	return ew.err
 }
 
 // HistogramChart renders bin counts as a horizontal ASCII bar chart with
 // bin-range labels.
-func HistogramChart(w io.Writer, title string, counts []int, binWidth float64) {
-	fmt.Fprintln(w, title)
+func HistogramChart(w io.Writer, title string, counts []int, binWidth float64) error {
+	ew := &errWriter{w: w}
+	ew.println(title)
 	maxCount := 0
 	for _, c := range counts {
 		if c > maxCount {
@@ -164,15 +203,16 @@ func HistogramChart(w io.Writer, title string, counts []int, binWidth float64) {
 		}
 	}
 	if maxCount == 0 {
-		fmt.Fprintln(w, "  (empty)")
-		return
+		ew.println("  (empty)")
+		return ew.err
 	}
 	const barMax = 50
 	for i, c := range counts {
 		bar := c * barMax / maxCount
-		fmt.Fprintf(w, "  [%6.1f,%6.1f) %s %d\n",
+		ew.printf("  [%6.1f,%6.1f) %s %d\n",
 			float64(i)*binWidth, float64(i+1)*binWidth, strings.Repeat("█", bar), c)
 	}
+	return ew.err
 }
 
 func max(a, b int) int {

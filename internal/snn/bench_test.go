@@ -14,7 +14,7 @@ func benchStimulus(net *Network, steps int) *tensor.Tensor {
 }
 
 func BenchmarkRunFastNMNISTTiny(b *testing.B) {
-	net := BuildNMNIST(rand.New(rand.NewSource(1)), ScaleTiny)
+	net := must(BuildNMNIST(rand.New(rand.NewSource(1)), ScaleTiny))
 	stim := benchStimulus(net, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -23,7 +23,7 @@ func BenchmarkRunFastNMNISTTiny(b *testing.B) {
 }
 
 func BenchmarkRunFastIBMSmall(b *testing.B) {
-	net := BuildIBMGesture(rand.New(rand.NewSource(2)), ScaleSmall)
+	net := must(BuildIBMGesture(rand.New(rand.NewSource(2)), ScaleSmall))
 	stim := benchStimulus(net, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -32,7 +32,7 @@ func BenchmarkRunFastIBMSmall(b *testing.B) {
 }
 
 func BenchmarkRunGraphBPTT(b *testing.B) {
-	net := BuildSHD(rand.New(rand.NewSource(3)), ScaleTiny)
+	net := must(BuildSHD(rand.New(rand.NewSource(3)), ScaleTiny))
 	stim := benchStimulus(net, 30)
 	frame := net.InputLen()
 	b.ResetTimer()
@@ -48,7 +48,7 @@ func BenchmarkRunGraphBPTT(b *testing.B) {
 }
 
 func BenchmarkCloneIBMSmall(b *testing.B) {
-	net := BuildIBMGesture(rand.New(rand.NewSource(4)), ScaleSmall)
+	net := must(BuildIBMGesture(rand.New(rand.NewSource(4)), ScaleSmall))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Clone()

@@ -44,7 +44,7 @@ const PoolWeight = 0.9
 // BuildNMNIST constructs the NMNIST-style convolutional SNN of Fig. 4:
 // a DVS frame [2,H,H] → strided 5×5 convolution → 3×3 spiking sum-pool →
 // dense readout over 10 digit classes.
-func BuildNMNIST(rng *rand.Rand, sc ModelScale) *Network {
+func BuildNMNIST(rng *rand.Rand, sc ModelScale) (*Network, error) {
 	var h, ch, k, stride, pool int
 	switch sc {
 	case ScaleTiny:
@@ -56,28 +56,26 @@ func BuildNMNIST(rng *rand.Rand, sc ModelScale) *Network {
 	}
 	inShape := []int{2, h, h}
 	lif := DefaultLIF()
+	b := &layerBuilder{lif: lif}
 
 	kernel := tensor.KaimingNormal(rng, 2*k*k, ch, 2, k, k)
-	conv := NewConvProj(kernel, inShape, tensor.ConvSpec{Stride: stride})
-	layers := []*Layer{NewLayer("conv1", conv, lif)}
+	conv := b.conv("conv1", kernel, inShape, tensor.ConvSpec{Stride: stride})
 
 	cur := conv.OutShape()
 	if pool > 1 {
-		pp := NewPoolProj(cur, pool, PoolWeight)
-		layers = append(layers, NewLayer("pool1", pp, lif))
+		pp := b.pool("pool1", cur, pool)
 		cur = pp.OutShape()
 	}
 	hidden := flatLen(cur)
-	dense := NewDenseProj(tensor.KaimingNormal(rng, hidden, 10, hidden))
-	layers = append(layers, NewLayer("out", dense, lif))
+	b.dense("out", tensor.KaimingNormal(rng, hidden, 10, hidden))
 
-	return NewNetwork("nmnist", inShape, 1.0, layers...)
+	return b.network("nmnist", inShape, 1.0)
 }
 
 // BuildIBMGesture constructs the DVS128-Gesture-style SNN of Fig. 5:
 // [2,H,H] DVS frames → spiking sum-pool (spatial downsampling) → strided
 // convolution → sum-pool → dense readout over 11 gesture classes.
-func BuildIBMGesture(rng *rand.Rand, sc ModelScale) *Network {
+func BuildIBMGesture(rng *rand.Rand, sc ModelScale) (*Network, error) {
 	var h, pre, ch, k, stride, post int
 	switch sc {
 	case ScaleTiny:
@@ -88,29 +86,25 @@ func BuildIBMGesture(rng *rand.Rand, sc ModelScale) *Network {
 		h, pre, ch, k, stride, post = 128, 4, 16, 5, 2, 2 // pool→2×32×32, conv→16×14×14, pool→16×7×7
 	}
 	inShape := []int{2, h, h}
-	lif := DefaultLIF()
+	b := &layerBuilder{lif: DefaultLIF()}
 
-	pool1 := NewPoolProj(inShape, pre, PoolWeight)
-	l1 := NewLayer("pool1", pool1, lif)
+	pool1 := b.pool("pool1", inShape, pre)
 
 	kernel := tensor.KaimingNormal(rng, 2*k*k, ch, 2, k, k)
-	conv := NewConvProj(kernel, pool1.OutShape(), tensor.ConvSpec{Stride: stride})
-	l2 := NewLayer("conv1", conv, lif)
+	conv := b.conv("conv1", kernel, pool1.OutShape(), tensor.ConvSpec{Stride: stride})
 
-	pool2 := NewPoolProj(conv.OutShape(), post, PoolWeight)
-	l3 := NewLayer("pool2", pool2, lif)
+	pool2 := b.pool("pool2", conv.OutShape(), post)
 
 	hidden := flatLen(pool2.OutShape())
-	dense := NewDenseProj(tensor.KaimingNormal(rng, hidden, 11, hidden))
-	l4 := NewLayer("out", dense, lif)
+	b.dense("out", tensor.KaimingNormal(rng, hidden, 11, hidden))
 
-	return NewNetwork("ibm-gesture", inShape, 1.0, l1, l2, l3, l4)
+	return b.network("ibm-gesture", inShape, 1.0)
 }
 
 // BuildSHD constructs the Spiking-Heidelberg-Digits-style SNN of Fig. 6:
 // 700 audio channels → recurrently connected hidden LIF population →
 // dense readout over 20 spoken-digit classes.
-func BuildSHD(rng *rand.Rand, sc ModelScale) *Network {
+func BuildSHD(rng *rand.Rand, sc ModelScale) (*Network, error) {
 	var in, hidden int
 	switch sc {
 	case ScaleTiny:
@@ -120,35 +114,108 @@ func BuildSHD(rng *rand.Rand, sc ModelScale) *Network {
 	default:
 		in, hidden = 700, 384
 	}
-	lif := DefaultLIF()
+	b := &layerBuilder{lif: DefaultLIF()}
 
 	w := tensor.KaimingNormal(rng, in, hidden, in)
 	// Recurrent weights start small so the untrained network is stable.
 	r := tensor.RandNormal(rng, 0, 0.3/float64(hidden), hidden, hidden)
-	rec := NewRecurrentProj(w, r)
-	l1 := NewLayer("recurrent1", rec, lif)
+	b.recurrent("recurrent1", w, r)
 
-	dense := NewDenseProj(tensor.KaimingNormal(rng, hidden, 20, hidden))
-	l2 := NewLayer("out", dense, lif)
+	b.dense("out", tensor.KaimingNormal(rng, hidden, 20, hidden))
 
-	return NewNetwork("shd", []int{in}, 1.0, l1, l2)
+	return b.network("shd", []int{in}, 1.0)
+}
+
+// Build constructs the named benchmark model ("nmnist", "ibm-gesture"
+// or "shd") at the given scale — the single dispatch point shared by the
+// CLIs and the experiment pipeline.
+func Build(benchmark string, rng *rand.Rand, sc ModelScale) (*Network, error) {
+	switch benchmark {
+	case "nmnist":
+		return BuildNMNIST(rng, sc)
+	case "ibm-gesture":
+		return BuildIBMGesture(rng, sc)
+	case "shd":
+		return BuildSHD(rng, sc)
+	default:
+		return nil, fmt.Errorf("snn: unknown benchmark %q (want nmnist, ibm-gesture or shd)", benchmark)
+	}
+}
+
+// layerBuilder accumulates layers and defers error handling to the
+// final network() call, keeping the Build* bodies linear.
+type layerBuilder struct {
+	lif    LIFParams
+	layers []*Layer
+	err    error
+}
+
+func (b *layerBuilder) add(name string, proj Projection, err error) {
+	if b.err != nil {
+		return
+	}
+	if err != nil {
+		b.err = err
+		return
+	}
+	l, err := NewLayer(name, proj, b.lif)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.layers = append(b.layers, l)
+}
+
+func (b *layerBuilder) conv(name string, kernel *tensor.Tensor, inShape []int, spec tensor.ConvSpec) *ConvProj {
+	p, err := NewConvProj(kernel, inShape, spec)
+	b.add(name, p, err)
+	if p == nil {
+		return &ConvProj{}
+	}
+	return p
+}
+
+func (b *layerBuilder) pool(name string, inShape []int, k int) *PoolProj {
+	p, err := NewPoolProj(inShape, k, PoolWeight)
+	b.add(name, p, err)
+	if p == nil {
+		return &PoolProj{}
+	}
+	return p
+}
+
+func (b *layerBuilder) dense(name string, w *tensor.Tensor) {
+	p, err := NewDenseProj(w)
+	b.add(name, p, err)
+}
+
+func (b *layerBuilder) recurrent(name string, w, r *tensor.Tensor) {
+	p, err := NewRecurrentProj(w, r)
+	b.add(name, p, err)
+}
+
+func (b *layerBuilder) network(name string, inShape []int, stepMS float64) (*Network, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("snn: building %q: %w", name, b.err)
+	}
+	return NewNetwork(name, inShape, stepMS, b.layers...)
 }
 
 // SampleSteps returns the per-benchmark duration, in simulation steps, of
 // one dataset sample at the given scale; the paper's sample durations
 // (300 ms, 1.45 s, 1 s at 1 kHz) apply at full scale.
-func SampleSteps(benchmark string, sc ModelScale) int {
+func SampleSteps(benchmark string, sc ModelScale) (int, error) {
 	full := map[string]int{"nmnist": 300, "ibm-gesture": 1450, "shd": 1000}
 	f, ok := full[benchmark]
 	if !ok {
-		panic(fmt.Sprintf("snn: unknown benchmark %q", benchmark))
+		return 0, fmt.Errorf("snn: unknown benchmark %q (want nmnist, ibm-gesture or shd)", benchmark)
 	}
 	switch sc {
 	case ScaleTiny:
-		return f / 10
+		return f / 10, nil
 	case ScaleSmall:
-		return f / 5
+		return f / 5, nil
 	default:
-		return f
+		return f, nil
 	}
 }

@@ -9,12 +9,12 @@ import (
 
 func TestBuildersProduceRunnableNetworks(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	builders := map[string]func(*rand.Rand, ModelScale) *Network{
+	builders := map[string]func(*rand.Rand, ModelScale) (*Network, error){
 		"nmnist": BuildNMNIST, "ibm-gesture": BuildIBMGesture, "shd": BuildSHD,
 	}
 	for name, build := range builders {
 		for _, sc := range []ModelScale{ScaleTiny, ScaleSmall} {
-			n := build(rng, sc)
+			n := must(build(rng, sc))
 			if n.Name != name {
 				t.Errorf("%s/%v: name = %q", name, sc, n.Name)
 			}
@@ -35,56 +35,53 @@ func TestBuildersProduceRunnableNetworks(t *testing.T) {
 
 func TestBuildersOutputClasses(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	if got := BuildNMNIST(rng, ScaleTiny).OutputLen(); got != 10 {
+	if got := must(BuildNMNIST(rng, ScaleTiny)).OutputLen(); got != 10 {
 		t.Errorf("NMNIST classes = %d, want 10", got)
 	}
-	if got := BuildIBMGesture(rng, ScaleTiny).OutputLen(); got != 11 {
+	if got := must(BuildIBMGesture(rng, ScaleTiny)).OutputLen(); got != 11 {
 		t.Errorf("IBM classes = %d, want 11", got)
 	}
-	if got := BuildSHD(rng, ScaleTiny).OutputLen(); got != 20 {
+	if got := must(BuildSHD(rng, ScaleTiny)).OutputLen(); got != 20 {
 		t.Errorf("SHD classes = %d, want 20", got)
 	}
 }
 
 func TestBuildFullScaleGeometry(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	n := BuildNMNIST(rng, ScaleFull)
+	n := must(BuildNMNIST(rng, ScaleFull))
 	if n.InShape[0] != 2 || n.InShape[1] != 34 || n.InShape[2] != 34 {
 		t.Errorf("NMNIST full input shape = %v, want [2 34 34]", n.InShape)
 	}
-	g := BuildIBMGesture(rng, ScaleFull)
+	g := must(BuildIBMGesture(rng, ScaleFull))
 	if g.InShape[1] != 128 {
 		t.Errorf("IBM full input = %v, want 2×128×128", g.InShape)
 	}
-	s := BuildSHD(rng, ScaleFull)
+	s := must(BuildSHD(rng, ScaleFull))
 	if s.InShape[0] != 700 {
 		t.Errorf("SHD full input = %v, want [700]", s.InShape)
 	}
 }
 
 func TestSHDIsRecurrent(t *testing.T) {
-	n := BuildSHD(rand.New(rand.NewSource(4)), ScaleTiny)
+	n := must(BuildSHD(rand.New(rand.NewSource(4)), ScaleTiny))
 	if _, ok := n.Layers[0].Proj.(*RecurrentProj); !ok {
 		t.Error("SHD hidden layer must be recurrent")
 	}
 }
 
 func TestSampleSteps(t *testing.T) {
-	if got := SampleSteps("nmnist", ScaleFull); got != 300 {
+	if got := must(SampleSteps("nmnist", ScaleFull)); got != 300 {
 		t.Errorf("nmnist full = %d, want 300 (300 ms at 1 kHz)", got)
 	}
-	if got := SampleSteps("ibm-gesture", ScaleFull); got != 1450 {
+	if got := must(SampleSteps("ibm-gesture", ScaleFull)); got != 1450 {
 		t.Errorf("ibm full = %d, want 1450", got)
 	}
-	if got := SampleSteps("shd", ScaleTiny); got != 100 {
+	if got := must(SampleSteps("shd", ScaleTiny)); got != 100 {
 		t.Errorf("shd tiny = %d, want 100", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown benchmark must panic")
-		}
-	}()
-	SampleSteps("nope", ScaleTiny)
+	if _, err := SampleSteps("nope", ScaleTiny); err == nil {
+		t.Error("unknown benchmark must error")
+	}
 }
 
 func TestModelScaleString(t *testing.T) {

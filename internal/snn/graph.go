@@ -34,9 +34,8 @@ func (g *GraphResult) ToRecord(n *Network) *Record {
 	rec := NewRecord(n, g.Steps)
 	for li := range g.Spikes {
 		nn := n.Layers[li].NumNeurons()
-		dst := rec.Layers[li].Data()
 		for t, node := range g.Spikes[li] {
-			copy(dst[t*nn:(t+1)*nn], node.Value.Data())
+			copy(rec.Layers[li].RawRange(t*nn, nn), node.Value.Data())
 		}
 	}
 	return rec
@@ -52,11 +51,13 @@ func (g *GraphResult) ToRecord(n *Network) *Record {
 // on the golden model.
 func (n *Network) RunGraph(inputSteps []*ag.Node) *GraphResult {
 	if n.HasFaultOverrides() {
-		panic("snn: RunGraph requires a fault-free network")
+		// Hot-path invariant: Generate and Train validate fault-freedom
+		// once at entry before their per-iteration RunGraph loops.
+		failf("snn: RunGraph requires a fault-free network")
 	}
 	steps := len(inputSteps)
 	if steps == 0 {
-		panic("snn: RunGraph needs at least one input step")
+		failf("snn: RunGraph needs at least one input step")
 	}
 	type graphLayerState struct {
 		u         *ag.Node

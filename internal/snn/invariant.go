@@ -1,0 +1,12 @@
+package snn
+
+import "fmt"
+
+// failf is the package's invariant-check chokepoint for hot-path
+// programmer errors (shape violations inside Run/RunGraph, faults on
+// weightless layers). Constructors and boundary APIs return errors
+// instead; failf is reserved for conditions the boundary validation has
+// already excluded.
+func failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

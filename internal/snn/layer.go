@@ -25,11 +25,11 @@ type Layer struct {
 }
 
 // NewLayer wires a projection to a LIF population.
-func NewLayer(name string, proj Projection, lif LIFParams) *Layer {
+func NewLayer(name string, proj Projection, lif LIFParams) (*Layer, error) {
 	if err := lif.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("snn: layer %q: %w", name, err)
 	}
-	return &Layer{Name: name, Proj: proj, LIF: lif}
+	return &Layer{Name: name, Proj: proj, LIF: lif}, nil
 }
 
 // NumNeurons returns the neuron count of this layer.
@@ -120,7 +120,7 @@ func (l *Layer) SetNeuronRefractory(i int, r int) {
 // Clone returns a deep copy of the layer: weights and override slices are
 // copied so fault injection into the clone never touches the original.
 func (l *Layer) Clone() *Layer {
-	c := &Layer{Name: l.Name, Proj: cloneProjection(l.Proj), LIF: l.LIF}
+	c := &Layer{Name: l.Name, Proj: l.Proj.Clone(), LIF: l.LIF}
 	if l.Modes != nil {
 		c.Modes = append([]NeuronMode(nil), l.Modes...)
 	}
@@ -136,40 +136,24 @@ func (l *Layer) Clone() *Layer {
 	return c
 }
 
-// cloneProjection deep-copies a projection's weight storage.
-func cloneProjection(p Projection) Projection {
-	switch q := p.(type) {
-	case *DenseProj:
-		return NewDenseProj(q.W.Clone())
-	case *ConvProj:
-		return NewConvProj(q.K.Clone(), q.inShape, q.Spec)
-	case *PoolProj:
-		cp := *q
-		return &cp
-	case *RecurrentProj:
-		return NewRecurrentProj(q.W.Clone(), q.R.Clone())
-	default:
-		panic(fmt.Sprintf("snn: cannot clone projection of type %T", p))
-	}
-}
-
 // SynapseWeightAt returns a pointer to the storage of synapse s of this
 // layer under the contiguous indexing convention (feedforward weights
 // first, then recurrent weights for recurrent projections). It panics for
-// layers without synapses.
+// layers without synapses — fault.Validate excludes that before any
+// injection loop starts.
 func (l *Layer) SynapseWeightAt(s int) *float64 {
 	switch q := l.Proj.(type) {
 	case *RecurrentProj:
 		if s < q.W.Len() {
-			return &q.W.Data()[s]
+			return q.W.ElemPtr(s)
 		}
-		return &q.R.Data()[s-q.W.Len()]
+		return q.R.ElemPtr(s - q.W.Len())
 	default:
 		w := l.Proj.Weights()
 		if w == nil {
-			panic(fmt.Sprintf("snn: layer %q has no faultable synapses", l.Name))
+			failf("snn: layer %q has no faultable synapses", l.Name)
 		}
-		return &w.Data()[s]
+		return w.ElemPtr(s)
 	}
 }
 

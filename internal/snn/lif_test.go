@@ -9,8 +9,8 @@ import (
 // singleNeuron builds a 1-input → 1-neuron network with weight w and the
 // given LIF parameters, the minimal rig for checking neuron dynamics.
 func singleNeuron(w float64, lif LIFParams) *Network {
-	proj := NewDenseProj(tensor.FromSlice([]float64{w}, 1, 1))
-	return NewNetwork("single", []int{1}, 1.0, NewLayer("n", proj, lif))
+	proj := must(NewDenseProj(tensor.FromSlice([]float64{w}, 1, 1)))
+	return must(NewNetwork("single", []int{1}, 1.0, must(NewLayer("n", proj, lif))))
 }
 
 // constantInput returns a stimulus of t steps with every input element 1.
@@ -129,9 +129,9 @@ func TestSaturatedNeuronFiresNonStop(t *testing.T) {
 
 func TestPerNeuronThresholdOverride(t *testing.T) {
 	// Two neurons share an input; raising one's threshold delays it.
-	proj := NewDenseProj(tensor.FromSlice([]float64{0.6, 0.6}, 2, 1))
-	net := NewNetwork("two", []int{1}, 1.0,
-		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	proj := must(NewDenseProj(tensor.FromSlice([]float64{0.6, 0.6}, 2, 1)))
+	net := must(NewNetwork("two", []int{1}, 1.0,
+		must(NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))))
 	net.Layers[0].SetNeuronThreshold(1, 2.3)
 	rec := net.Run(constantInput(net, 4))
 	c := rec.Counts(0)
@@ -144,9 +144,9 @@ func TestPerNeuronThresholdOverride(t *testing.T) {
 }
 
 func TestPerNeuronLeakOverride(t *testing.T) {
-	proj := NewDenseProj(tensor.FromSlice([]float64{0.4, 0.4}, 2, 1))
-	net := NewNetwork("two", []int{1}, 1.0,
-		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	proj := must(NewDenseProj(tensor.FromSlice([]float64{0.4, 0.4}, 2, 1)))
+	net := must(NewNetwork("two", []int{1}, 1.0,
+		must(NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))))
 	net.Layers[0].SetNeuronLeak(1, 0.1) // heavy leak: 0.4/(1-0.1·...) stays below θ
 	rec := net.Run(constantInput(net, 10))
 	c := rec.Counts(0)
@@ -159,9 +159,9 @@ func TestPerNeuronLeakOverride(t *testing.T) {
 }
 
 func TestPerNeuronRefractoryOverride(t *testing.T) {
-	proj := NewDenseProj(tensor.FromSlice([]float64{1.1, 1.1}, 2, 1))
-	net := NewNetwork("two", []int{1}, 1.0,
-		NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))
+	proj := must(NewDenseProj(tensor.FromSlice([]float64{1.1, 1.1}, 2, 1)))
+	net := must(NewNetwork("two", []int{1}, 1.0,
+		must(NewLayer("n", proj, LIFParams{Threshold: 1, Leak: 1, Refractory: 0}))))
 	net.Layers[0].SetNeuronRefractory(1, 4)
 	rec := net.Run(constantInput(net, 10))
 	c := rec.Counts(0)

@@ -25,19 +25,19 @@ type Network struct {
 }
 
 // NewNetwork validates layer shape compatibility and returns the network.
-func NewNetwork(name string, inShape []int, stepMS float64, layers ...*Layer) *Network {
+func NewNetwork(name string, inShape []int, stepMS float64, layers ...*Layer) (*Network, error) {
 	if len(layers) == 0 {
-		panic("snn: network needs at least one layer")
+		return nil, fmt.Errorf("snn: network %q needs at least one layer", name)
 	}
 	prev := inShape
 	for _, l := range layers {
 		in := l.Proj.InShape()
 		if flatLen(in) != flatLen(prev) {
-			panic(fmt.Sprintf("snn: layer %q expects input %v but receives %v", l.Name, in, prev))
+			return nil, fmt.Errorf("snn: network %q: layer %q expects input %v but receives %v", name, l.Name, in, prev)
 		}
 		prev = l.Proj.OutShape()
 	}
-	return &Network{Name: name, Layers: layers, InShape: append([]int(nil), inShape...), StepMS: stepMS}
+	return &Network{Name: name, Layers: layers, InShape: append([]int(nil), inShape...), StepMS: stepMS}, nil
 }
 
 func flatLen(shape []int) int {
@@ -126,19 +126,20 @@ func (n *Network) ZeroInput(t int) *tensor.Tensor {
 	return tensor.New(append([]int{t}, n.InShape...)...)
 }
 
-// CheckInput panics unless input has shape [T, InShape...] with T ≥ 1 and
-// binary entries are not verified (callers own that invariant).
-func (n *Network) CheckInput(input *tensor.Tensor) int {
+// CheckInput verifies that input has shape [T, InShape...] with T ≥ 1
+// and returns T. Binary entries are not verified (callers own that
+// invariant).
+func (n *Network) CheckInput(input *tensor.Tensor) (int, error) {
 	shape := input.Shape()
 	if len(shape) != len(n.InShape)+1 || shape[0] < 1 {
-		panic(fmt.Sprintf("snn: input shape %v does not match [T, %v]", shape, n.InShape))
+		return 0, fmt.Errorf("snn: input shape %v does not match [T, %v]", shape, n.InShape)
 	}
 	for i, d := range n.InShape {
 		if shape[i+1] != d {
-			panic(fmt.Sprintf("snn: input shape %v does not match [T, %v]", shape, n.InShape))
+			return 0, fmt.Errorf("snn: input shape %v does not match [T, %v]", shape, n.InShape)
 		}
 	}
-	return shape[0]
+	return shape[0], nil
 }
 
 // fastLayerState is the mutable per-layer simulation state of the fast path.
@@ -153,7 +154,12 @@ type fastLayerState struct {
 // fresh state and records every neuron's output spike train. This is the
 // fast, non-differentiable path used for inference and fault simulation.
 func (n *Network) Run(input *tensor.Tensor) *Record {
-	steps := n.CheckInput(input)
+	steps, err := n.CheckInput(input)
+	if err != nil {
+		// Hot-path boundary: a bad stimulus shape here is a programmer
+		// error — campaign entry points validate before their loops.
+		failf("%v", err)
+	}
 	states := make([]*fastLayerState, len(n.Layers))
 	for i, l := range n.Layers {
 		nn := l.NumNeurons()
@@ -165,9 +171,8 @@ func (n *Network) Run(input *tensor.Tensor) *Record {
 		}
 	}
 	rec := NewRecord(n, steps)
-	frame := flatLen(n.InShape)
 	for t := 0; t < steps; t++ {
-		in := tensor.FromSlice(input.Data()[t*frame:(t+1)*frame], n.InShape...)
+		in := input.Step(t)
 		for li, l := range n.Layers {
 			st := states[li]
 			var lastOut *tensor.Tensor
@@ -176,7 +181,7 @@ func (n *Network) Run(input *tensor.Tensor) *Record {
 			}
 			cur := l.Proj.Forward(in, lastOut)
 			cd := cur.Data()
-			out := rec.Layers[li].Data()[t*len(cd) : (t+1)*len(cd)]
+			out := rec.Layers[li].RawRange(t*len(cd), len(cd))
 			for i := range cd {
 				var s float64
 				switch l.mode(i) {

@@ -14,14 +14,14 @@ import (
 func testNet(seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	in := []int{2, 6, 6}
-	conv := NewConvProj(tensor.RandNormal(rng, 0, 0.6, 4, 2, 3, 3), in, tensor.ConvSpec{Stride: 1})
-	pool := NewPoolProj(conv.OutShape(), 2, PoolWeight)
-	dense := NewDenseProj(tensor.RandNormal(rng, 0, 0.6, 5, flatLen(pool.OutShape())))
+	conv := must(NewConvProj(tensor.RandNormal(rng, 0, 0.6, 4, 2, 3, 3), in, tensor.ConvSpec{Stride: 1}))
+	pool := must(NewPoolProj(conv.OutShape(), 2, PoolWeight))
+	dense := must(NewDenseProj(tensor.RandNormal(rng, 0, 0.6, 5, flatLen(pool.OutShape()))))
 	lif := DefaultLIF()
-	return NewNetwork("test", in, 1.0,
-		NewLayer("conv", conv, lif),
-		NewLayer("pool", pool, lif),
-		NewLayer("out", dense, lif))
+	return must(NewNetwork("test", in, 1.0,
+		must(NewLayer("conv", conv, lif)),
+		must(NewLayer("pool", pool, lif)),
+		must(NewLayer("out", dense, lif))))
 }
 
 // recurrentNet builds a small recurrent network.
@@ -29,11 +29,11 @@ func recurrentNet(seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	w := tensor.RandNormal(rng, 0, 0.5, 8, 6)
 	r := tensor.RandNormal(rng, 0, 0.2, 8, 8)
-	dense := NewDenseProj(tensor.RandNormal(rng, 0, 0.5, 4, 8))
+	dense := must(NewDenseProj(tensor.RandNormal(rng, 0, 0.5, 4, 8)))
 	lif := DefaultLIF()
-	return NewNetwork("rec", []int{6}, 1.0,
-		NewLayer("rec", NewRecurrentProj(w, r), lif),
-		NewLayer("out", dense, lif))
+	return must(NewNetwork("rec", []int{6}, 1.0,
+		must(NewLayer("rec", must(NewRecurrentProj(w, r)), lif)),
+		must(NewLayer("out", dense, lif))))
 }
 
 func randomStimulus(rng *rand.Rand, n *Network, steps int, p float64) *tensor.Tensor {
@@ -59,15 +59,12 @@ func TestNetworkCounts(t *testing.T) {
 	}
 }
 
-func TestNetworkShapeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for incompatible layers")
-		}
-	}()
+func TestNetworkShapeMismatchErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	NewNetwork("bad", []int{3}, 1.0,
-		NewLayer("d", NewDenseProj(tensor.RandNormal(rng, 0, 1, 4, 5)), DefaultLIF()))
+	if _, err := NewNetwork("bad", []int{3}, 1.0,
+		must(NewLayer("d", must(NewDenseProj(tensor.RandNormal(rng, 0, 1, 4, 5))), DefaultLIF()))); err == nil {
+		t.Error("expected error for incompatible layers")
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {
@@ -232,12 +229,12 @@ func TestSynapseWeightAtPanicsForPool(t *testing.T) {
 }
 
 func TestMaxAbsWeight(t *testing.T) {
-	proj := NewDenseProj(tensor.FromSlice([]float64{0.5, -2, 1}, 3, 1))
-	l := NewLayer("d", proj, DefaultLIF())
+	proj := must(NewDenseProj(tensor.FromSlice([]float64{0.5, -2, 1}, 3, 1)))
+	l := must(NewLayer("d", proj, DefaultLIF()))
 	if got := l.MaxAbsWeight(); got != 2 {
 		t.Errorf("MaxAbsWeight = %g, want 2", got)
 	}
-	pool := NewLayer("p", NewPoolProj([]int{1, 2, 2}, 2, 1), DefaultLIF())
+	pool := must(NewLayer("p", must(NewPoolProj([]int{1, 2, 2}, 2, 1)), DefaultLIF()))
 	if pool.MaxAbsWeight() != 0 {
 		t.Error("weightless layer MaxAbsWeight should be 0")
 	}

@@ -47,6 +47,9 @@ type Projection interface {
 	// gradients into the returned leaves. Weightless projections return
 	// nil and stay in inference mode.
 	ParamLeaves() []*ag.Node
+	// Clone deep-copies the projection's weight storage. The clone is
+	// always in inference mode (training leaves are not carried over).
+	Clone() Projection
 }
 
 // weightNode wraps a weight tensor for the graph path: as a gradient leaf
@@ -70,11 +73,11 @@ type DenseProj struct {
 }
 
 // NewDenseProj creates a dense projection with the given weight matrix.
-func NewDenseProj(w *tensor.Tensor) *DenseProj {
+func NewDenseProj(w *tensor.Tensor) (*DenseProj, error) {
 	if w.Rank() != 2 {
-		panic(fmt.Sprintf("snn: dense weights must be rank 2, got %v", w.Shape()))
+		return nil, fmt.Errorf("snn: dense weights must be rank 2, got %v", w.Shape())
 	}
-	return &DenseProj{W: w, out: w.Dim(0), in: w.Dim(1)}
+	return &DenseProj{W: w, out: w.Dim(0), in: w.Dim(1)}, nil
 }
 
 func (p *DenseProj) Kind() string            { return "dense" }
@@ -98,6 +101,10 @@ func (p *DenseProj) ParamLeaves() []*ag.Node {
 	return []*ag.Node{p.wLeaf}
 }
 
+func (p *DenseProj) Clone() Projection {
+	return &DenseProj{W: p.W.Clone(), out: p.out, in: p.in}
+}
+
 func (p *DenseProj) FanIn() *tensor.Tensor { return p.W }
 
 func (p *DenseProj) ContributionCounts(preCounts, _ *ag.Node) *ag.Node {
@@ -117,21 +124,24 @@ type ConvProj struct {
 }
 
 // NewConvProj creates a convolutional projection for the given input shape.
-func NewConvProj(kernel *tensor.Tensor, inShape []int, spec tensor.ConvSpec) *ConvProj {
+func NewConvProj(kernel *tensor.Tensor, inShape []int, spec tensor.ConvSpec) (*ConvProj, error) {
 	if kernel.Rank() != 4 || len(inShape) != 3 {
-		panic(fmt.Sprintf("snn: conv projection requires rank-4 kernel and [C,H,W] input, got %v and %v", kernel.Shape(), inShape))
+		return nil, fmt.Errorf("snn: conv projection requires rank-4 kernel and [C,H,W] input, got %v and %v", kernel.Shape(), inShape)
 	}
 	if kernel.Dim(1) != inShape[0] {
-		panic(fmt.Sprintf("snn: conv kernel channels %d do not match input channels %d", kernel.Dim(1), inShape[0]))
+		return nil, fmt.Errorf("snn: conv kernel channels %d do not match input channels %d", kernel.Dim(1), inShape[0])
 	}
 	oh := tensor.ConvOutDim(inShape[1], kernel.Dim(2), spec.Stride, spec.Pad)
 	ow := tensor.ConvOutDim(inShape[2], kernel.Dim(3), spec.Stride, spec.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("snn: conv projection produces empty output for input %v kernel %v", inShape, kernel.Shape())
+	}
 	return &ConvProj{
 		K:        kernel,
 		Spec:     spec,
 		inShape:  append([]int(nil), inShape...),
 		outShape: []int{kernel.Dim(0), oh, ow},
-	}
+	}, nil
 }
 
 func (p *ConvProj) Kind() string            { return "conv" }
@@ -153,6 +163,15 @@ func (p *ConvProj) ParamLeaves() []*ag.Node {
 		p.kLeaf = ag.Leaf(p.K)
 	}
 	return []*ag.Node{p.kLeaf}
+}
+
+func (p *ConvProj) Clone() Projection {
+	return &ConvProj{
+		K:        p.K.Clone(),
+		Spec:     p.Spec,
+		inShape:  append([]int(nil), p.inShape...),
+		outShape: append([]int(nil), p.outShape...),
+	}
 }
 
 // FanIn views the kernel as [outC, inC·kH·kW]: each output channel's
@@ -200,19 +219,19 @@ type PoolProj struct {
 
 // NewPoolProj creates a k×k sum-pooling projection with the given fixed
 // synapse weight.
-func NewPoolProj(inShape []int, k int, weight float64) *PoolProj {
+func NewPoolProj(inShape []int, k int, weight float64) (*PoolProj, error) {
 	if len(inShape) != 3 {
-		panic(fmt.Sprintf("snn: pool projection requires [C,H,W] input, got %v", inShape))
+		return nil, fmt.Errorf("snn: pool projection requires [C,H,W] input, got %v", inShape)
 	}
-	if inShape[1]%k != 0 || inShape[2]%k != 0 {
-		panic(fmt.Sprintf("snn: pool window %d does not divide input %v", k, inShape))
+	if k <= 0 || inShape[1]%k != 0 || inShape[2]%k != 0 {
+		return nil, fmt.Errorf("snn: pool window %d does not divide input %v", k, inShape)
 	}
 	return &PoolProj{
 		KSize:    k,
 		Weight:   weight,
 		inShape:  append([]int(nil), inShape...),
 		outShape: []int{inShape[0], inShape[1] / k, inShape[2] / k},
-	}
+	}, nil
 }
 
 func (p *PoolProj) Kind() string            { return "pool" }
@@ -229,6 +248,11 @@ func (p *PoolProj) Forward(in, _ *tensor.Tensor) *tensor.Tensor {
 
 func (p *PoolProj) ForwardGraph(in, _ *ag.Node) *ag.Node {
 	return ag.Scale(ag.SumPool2D(ag.Reshape(in, p.inShape...), p.KSize), p.Weight)
+}
+
+func (p *PoolProj) Clone() Projection {
+	cp := *p
+	return &cp
 }
 
 func (p *PoolProj) FanIn() *tensor.Tensor                     { return nil }
@@ -250,11 +274,11 @@ type RecurrentProj struct {
 
 // NewRecurrentProj creates a recurrent projection from feedforward and
 // recurrent weight matrices.
-func NewRecurrentProj(w, r *tensor.Tensor) *RecurrentProj {
+func NewRecurrentProj(w, r *tensor.Tensor) (*RecurrentProj, error) {
 	if w.Rank() != 2 || r.Rank() != 2 || r.Dim(0) != r.Dim(1) || r.Dim(0) != w.Dim(0) {
-		panic(fmt.Sprintf("snn: recurrent projection shapes invalid: W %v, R %v", w.Shape(), r.Shape()))
+		return nil, fmt.Errorf("snn: recurrent projection shapes invalid: W %v, R %v", w.Shape(), r.Shape())
 	}
-	return &RecurrentProj{W: w, R: r}
+	return &RecurrentProj{W: w, R: r}, nil
 }
 
 func (p *RecurrentProj) Kind() string    { return "recurrent" }
@@ -294,6 +318,10 @@ func (p *RecurrentProj) ParamLeaves() []*ag.Node {
 		p.rLeaf = ag.Leaf(p.R)
 	}
 	return []*ag.Node{p.wLeaf, p.rLeaf}
+}
+
+func (p *RecurrentProj) Clone() Projection {
+	return &RecurrentProj{W: p.W.Clone(), R: p.R.Clone()}
 }
 
 // FanIn concatenates W and R column-wise: each neuron's fan-in covers its

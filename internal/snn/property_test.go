@@ -12,9 +12,9 @@ import (
 // quickNet builds a small random dense network from a seed.
 func quickNet(seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
-	l1 := NewLayer("h", NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 6, 5)), DefaultLIF())
-	l2 := NewLayer("out", NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 4, 6)), DefaultLIF())
-	return NewNetwork("quick", []int{5}, 1.0, l1, l2)
+	l1 := must(NewLayer("h", must(NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 6, 5))), DefaultLIF()))
+	l2 := must(NewLayer("out", must(NewDenseProj(tensor.RandNormal(rng, 0.2, 0.5, 4, 6))), DefaultLIF()))
+	return must(NewNetwork("quick", []int{5}, 1.0, l1, l2))
 }
 
 // Property: for any seed and stimulus density, every recorded spike value

@@ -42,9 +42,8 @@ func (r *Record) OutputCounts() *tensor.Tensor {
 func (r *Record) NeuronTrain(layer, i int) *tensor.Tensor {
 	lt := r.Layers[layer]
 	t := tensor.New(r.Steps)
-	n := lt.Dim(1)
 	for s := 0; s < r.Steps; s++ {
-		t.Data()[s] = lt.Data()[s*n+i]
+		t.Data()[s] = lt.At(s, i)
 	}
 	return t
 }
@@ -87,8 +86,8 @@ func (r *Record) TemporalDiversity(layer int) *tensor.Tensor {
 	n := lt.Dim(1)
 	td := tensor.New(n)
 	for s := 1; s < r.Steps; s++ {
-		prev := lt.Data()[(s-1)*n : s*n]
-		cur := lt.Data()[s*n : (s+1)*n]
+		prev := lt.RawRange((s-1)*n, n)
+		cur := lt.RawRange(s*n, n)
 		for i := 0; i < n; i++ {
 			d := cur[i] - prev[i]
 			if d < 0 {

@@ -1,7 +1,5 @@
 package tensor
 
-import "fmt"
-
 // ConvSpec describes the geometry of a 2-D convolution or pooling window.
 type ConvSpec struct {
 	Stride int // window step, ≥ 1
@@ -19,17 +17,17 @@ func ConvOutDim(in, k, stride, pad int) int {
 // the usual CNN convention; bias is not applied (spiking layers have none).
 func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	if x.Rank() != 3 || w.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: Conv2D requires input rank 3 and kernel rank 4, got %v and %v", x.shape, w.shape))
+		failf("Conv2D requires input rank 3 and kernel rank 4, got %v and %v", x.shape, w.shape)
 	}
 	inC, h, wd := x.shape[0], x.shape[1], x.shape[2]
 	outC, kc, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
 	if kc != inC {
-		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v kernel %v", x.shape, w.shape))
+		failf("Conv2D channel mismatch input %v kernel %v", x.shape, w.shape)
 	}
 	oh := ConvOutDim(h, kh, spec.Stride, spec.Pad)
 	ow := ConvOutDim(wd, kw, spec.Stride, spec.Pad)
 	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Conv2D produces empty output for input %v kernel %v spec %+v", x.shape, w.shape, spec))
+		failf("Conv2D produces empty output for input %v kernel %v spec %+v", x.shape, w.shape, spec)
 	}
 	out := New(outC, oh, ow)
 	for oc := 0; oc < outC; oc++ {
@@ -144,11 +142,11 @@ func Conv2DBackwardKernel(g, x *Tensor, kShape []int, spec ConvSpec) *Tensor {
 // producing [C,H/k,W/k]. H and W must be divisible by k.
 func SumPool2D(x *Tensor, k int) *Tensor {
 	if x.Rank() != 3 {
-		panic(fmt.Sprintf("tensor: SumPool2D requires rank-3 input, got %v", x.shape))
+		failf("SumPool2D requires rank-3 input, got %v", x.shape)
 	}
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	if h%k != 0 || w%k != 0 {
-		panic(fmt.Sprintf("tensor: SumPool2D input %v not divisible by window %d", x.shape, k))
+		failf("SumPool2D input %v not divisible by window %d", x.shape, k)
 	}
 	oh, ow := h/k, w/k
 	out := New(c, oh, ow)

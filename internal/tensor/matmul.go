@@ -1,16 +1,14 @@
 package tensor
 
-import "fmt"
-
 // MatMul returns the matrix product of a (m×k) and b (k×n) as an m×n tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+		failf("MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape)
 	}
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+		failf("MatMul inner dimension mismatch %v × %v", a.shape, b.shape)
 	}
 	out := New(m, n)
 	// ikj loop order keeps the inner loop streaming over contiguous rows.
@@ -34,11 +32,11 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatVec returns w·x for a weight matrix w (out×in) and vector x (in).
 func MatVec(w, x *Tensor) *Tensor {
 	if w.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatVec requires rank-2 matrix, got %v", w.shape))
+		failf("MatVec requires rank-2 matrix, got %v", w.shape)
 	}
 	rows, cols := w.shape[0], w.shape[1]
 	if x.Len() != cols {
-		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v · %v", w.shape, x.shape))
+		failf("MatVec dimension mismatch %v · %v", w.shape, x.shape)
 	}
 	out := New(rows)
 	xd := x.data
@@ -58,7 +56,7 @@ func MatVec(w, x *Tensor) *Tensor {
 func MatVecT(w, g *Tensor) *Tensor {
 	rows, cols := w.shape[0], w.shape[1]
 	if g.Len() != rows {
-		panic(fmt.Sprintf("tensor: MatVecT dimension mismatch %vᵀ · %v", w.shape, g.shape))
+		failf("MatVecT dimension mismatch %vᵀ · %v", w.shape, g.shape)
 	}
 	out := New(cols)
 	for i := 0; i < rows; i++ {
@@ -95,7 +93,7 @@ func Outer(g, x *Tensor) *Tensor {
 // Dot returns the inner product of two equal-length tensors.
 func Dot(a, b *Tensor) float64 {
 	if a.Len() != b.Len() {
-		panic(fmt.Sprintf("tensor: Dot length mismatch %v vs %v", a.shape, b.shape))
+		failf("Dot length mismatch %v vs %v", a.shape, b.shape)
 	}
 	s := 0.0
 	for i := range a.data {

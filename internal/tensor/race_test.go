@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Race smoke tests: tensors have no internal locking, so the contract
+// is "concurrent reads are safe; concurrent writes must target disjoint
+// elements". These tests encode that contract so `go test -race`
+// (verify.sh) exercises it every run.
+
+func TestConcurrentReadsAreRaceFree(t *testing.T) {
+	src := RandNormal(rand.New(rand.NewSource(1)), 0, 1, 8, 16)
+	want := Sum(src)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				if got := Sum(src); got != want {
+					t.Errorf("worker %d: Sum changed under concurrent reads: %g != %g", w, got, want)
+					return
+				}
+				_ = src.At(w, iter%16)
+				_ = src.Step(w)
+				_ = src.RawRange(w*16, 16)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDisjointStepWritesAreRaceFree(t *testing.T) {
+	const steps, frame = 8, 12
+	out := New(steps, 3, 4)
+	var wg sync.WaitGroup
+	for s := 0; s < steps; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			out.Step(s).Fill(float64(s))
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < steps; s++ {
+		for _, v := range out.Step(s).Data() {
+			if v != float64(s) {
+				t.Fatalf("step %d holds %g; disjoint writes interfered", s, v)
+			}
+		}
+	}
+	if out.Len() != steps*frame {
+		t.Fatalf("Len = %d, want %d", out.Len(), steps*frame)
+	}
+}

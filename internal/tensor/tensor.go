@@ -6,8 +6,9 @@
 // Tensors are deliberately simple: there are no views or strides beyond
 // row-major contiguity. Reshape reuses the backing slice; every other
 // operation either writes into a caller-provided destination or allocates
-// a fresh result. All shape mismatches panic, because in this codebase a
-// shape mismatch is always a programming error, never a data error.
+// a fresh result. All shape mismatches panic (routed through the failf
+// invariant helper), because in this codebase a shape mismatch is
+// always a programming error, never a data error.
 package tensor
 
 import (
@@ -34,7 +35,7 @@ func New(shape ...int) *Tensor {
 // directly (not copied); its length must equal the shape's element count.
 func FromSlice(data []float64, shape ...int) *Tensor {
 	if len(data) != numel(shape) {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, numel(shape)))
+		failf("FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, numel(shape))
 	}
 	return &Tensor{shape: cloneShape(shape), data: data}
 }
@@ -59,7 +60,7 @@ func numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			failf("negative dimension in shape %v", shape)
 		}
 		n *= d
 	}
@@ -100,12 +101,12 @@ func (t *Tensor) Set(v float64, idx ...int) { t.data[t.Offset(idx...)] = v }
 // Offset converts a multi-index into a flat row-major offset.
 func (t *Tensor) Offset(idx ...int) int {
 	if len(idx) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+		failf("index rank %d does not match tensor rank %d", len(idx), len(t.shape))
 	}
 	off := 0
 	for i, ix := range idx {
 		if ix < 0 || ix >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+			failf("index %v out of range for shape %v", idx, t.shape)
 		}
 		off = off*t.shape[i] + ix
 	}
@@ -122,7 +123,7 @@ func (t *Tensor) Clone() *Tensor {
 // CopyFrom copies src's elements into t. Shapes must match in element count.
 func (t *Tensor) CopyFrom(src *Tensor) {
 	if len(t.data) != len(src.data) {
-		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.shape, src.shape))
+		failf("CopyFrom size mismatch %v vs %v", t.shape, src.shape)
 	}
 	copy(t.data, src.data)
 }
@@ -131,7 +132,7 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 // same element count.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if numel(shape) != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, numel(shape)))
+		failf("cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, numel(shape))
 	}
 	return &Tensor{shape: cloneShape(shape), data: t.data}
 }
@@ -166,8 +167,52 @@ func SameShape(a, b *Tensor) bool {
 // assertSameShape panics with op context if a and b differ in shape.
 func assertSameShape(op string, a, b *Tensor) {
 	if !SameShape(a, b) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+		failf("%s shape mismatch %v vs %v", op, a.shape, b.shape)
 	}
+}
+
+// failf is the package's invariant-check chokepoint: every shape or
+// bounds violation panics through it, because in this codebase those
+// are always programming errors, never data errors.
+func failf(format string, args ...any) {
+	panic("tensor: " + fmt.Sprintf(format, args...))
+}
+
+// Step returns a view of frame i along the first axis: a tensor of
+// shape t.Shape()[1:] sharing t's backing data. It is the sanctioned
+// way to address one time step of a [T, frame...] spike train without
+// raw stride arithmetic.
+func (t *Tensor) Step(i int) *Tensor {
+	if len(t.shape) == 0 {
+		failf("Step on rank-0 tensor")
+	}
+	if i < 0 || i >= t.shape[0] {
+		failf("Step index %d out of range for shape %v", i, t.shape)
+	}
+	frame := 1
+	for _, d := range t.shape[1:] {
+		frame *= d
+	}
+	return &Tensor{shape: cloneShape(t.shape[1:]), data: t.data[i*frame : (i+1)*frame : (i+1)*frame]}
+}
+
+// RawRange returns the bounds-checked window [start, start+n) of the
+// backing slice. Callers that need a raw float64 window (copy targets,
+// kernel interop) use it instead of re-deriving offsets on Data().
+func (t *Tensor) RawRange(start, n int) []float64 {
+	if start < 0 || n < 0 || start+n > len(t.data) {
+		failf("RawRange [%d, %d+%d) out of range for %d elements", start, start, n, len(t.data))
+	}
+	return t.data[start : start+n : start+n]
+}
+
+// ElemPtr returns a pointer to the element at flat offset off, for
+// in-place mutation hooks (e.g. fault injection into one weight).
+func (t *Tensor) ElemPtr(off int) *float64 {
+	if off < 0 || off >= len(t.data) {
+		failf("ElemPtr offset %d out of range for %d elements", off, len(t.data))
+	}
+	return &t.data[off]
 }
 
 // String renders small tensors fully and large ones as a summary.

@@ -98,7 +98,7 @@ func TestSchedules(t *testing.T) {
 }
 
 func TestTrainRejectsBadArgs(t *testing.T) {
-	net := snn.BuildSHD(rand.New(rand.NewSource(1)), snn.ScaleTiny)
+	net := must(snn.BuildSHD(rand.New(rand.NewSource(1)), snn.ScaleTiny))
 	if _, err := Train(net, nil, nil, DefaultConfig()); err == nil {
 		t.Error("empty dataset must error")
 	}
@@ -111,7 +111,7 @@ func TestTrainingImprovesAccuracy(t *testing.T) {
 	// End-to-end learning check: a tiny recurrent SNN must learn the
 	// synthetic SHD classes far beyond chance (5% for 20 classes).
 	rng := rand.New(rand.NewSource(2))
-	net := snn.BuildSHD(rng, snn.ScaleTiny)
+	net := must(snn.BuildSHD(rng, snn.ScaleTiny))
 	ds := dataset.GenSHD(dataset.Config{TrainPerClass: 4, TestPerClass: 2, Steps: 25, Seed: 3}, net.InShape[0])
 	trainIn, trainLab := ds.Inputs("train")
 	testIn, testLab := ds.Inputs("test")
@@ -135,7 +135,7 @@ func TestTrainingImprovesAccuracy(t *testing.T) {
 }
 
 func TestEvaluateEmpty(t *testing.T) {
-	net := snn.BuildSHD(rand.New(rand.NewSource(5)), snn.ScaleTiny)
+	net := must(snn.BuildSHD(rand.New(rand.NewSource(5)), snn.ScaleTiny))
 	if Evaluate(net, nil, nil) != 0 {
 		t.Error("empty evaluation should be 0")
 	}

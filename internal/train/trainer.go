@@ -36,10 +36,9 @@ type History struct {
 // nodes for RunGraph.
 func inputStepNodes(net *snn.Network, input *tensor.Tensor) []*ag.Node {
 	steps := input.Dim(0)
-	frame := net.InputLen()
 	nodes := make([]*ag.Node, steps)
 	for t := 0; t < steps; t++ {
-		nodes[t] = ag.Const(tensor.FromSlice(input.Data()[t*frame:(t+1)*frame], net.InShape...))
+		nodes[t] = ag.Const(input.Step(t).Reshape(net.InShape...))
 	}
 	return nodes
 }
@@ -76,7 +75,9 @@ func Train(net *snn.Network, inputs []*tensor.Tensor, labels []int, cfg Config) 
 				correct++
 			}
 			opt.ZeroGrad()
-			ag.Backward(loss)
+			if err := ag.Backward(loss); err != nil {
+				return hist, err
+			}
 			opt.Step()
 		}
 		hist.Loss = append(hist.Loss, totalLoss/float64(len(inputs)))

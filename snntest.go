@@ -20,10 +20,10 @@
 // Quick start:
 //
 //	rng := rand.New(rand.NewSource(1))
-//	net := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
-//	res := snntest.GenerateTest(net, snntest.TestGenConfig())
+//	net, err := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
+//	res, err := snntest.GenerateTest(net, snntest.TestGenConfig())
 //	faults := snntest.EnumerateFaults(net)
-//	sim := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
+//	sim, err := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
 //	fmt.Printf("fault coverage: %.1f%%\n",
 //		100*float64(sim.NumDetected())/float64(len(faults)))
 package snntest
@@ -61,13 +61,21 @@ const (
 )
 
 // BuildNMNIST constructs the NMNIST-style benchmark SNN (paper Fig. 4).
-func BuildNMNIST(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildNMNIST(rng, sc) }
+func BuildNMNIST(rng *rand.Rand, sc ModelScale) (*Network, error) { return snn.BuildNMNIST(rng, sc) }
 
 // BuildIBMGesture constructs the DVS128-Gesture-style SNN (paper Fig. 5).
-func BuildIBMGesture(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildIBMGesture(rng, sc) }
+func BuildIBMGesture(rng *rand.Rand, sc ModelScale) (*Network, error) {
+	return snn.BuildIBMGesture(rng, sc)
+}
 
 // BuildSHD constructs the Spiking-Heidelberg-Digits-style SNN (paper Fig. 6).
-func BuildSHD(rng *rand.Rand, sc ModelScale) *Network { return snn.BuildSHD(rng, sc) }
+func BuildSHD(rng *rand.Rand, sc ModelScale) (*Network, error) { return snn.BuildSHD(rng, sc) }
+
+// Build constructs the named benchmark SNN ("nmnist", "ibm-gesture" or
+// "shd").
+func Build(benchmark string, rng *rand.Rand, sc ModelScale) (*Network, error) {
+	return snn.Build(benchmark, rng, sc)
+}
 
 // DefaultGenConfig returns the paper's optimization settings (Section V-C).
 func DefaultGenConfig() GenConfig { return core.DefaultConfig() }
@@ -78,7 +86,7 @@ func TestGenConfig() GenConfig { return core.TestConfig() }
 
 // GenerateTest runs the paper's test-generation algorithm on a fault-free
 // network.
-func GenerateTest(net *Network, cfg GenConfig) *TestResult { return core.Generate(net, cfg) }
+func GenerateTest(net *Network, cfg GenConfig) (*TestResult, error) { return core.Generate(net, cfg) }
 
 // EnumerateFaults lists the paper's default fault universe: dead and
 // saturated faults per neuron; dead, positively and negatively saturated
@@ -87,25 +95,25 @@ func EnumerateFaults(net *Network) []Fault { return fault.Enumerate(net, fault.D
 
 // SimulateFaults runs a fault-simulation campaign of the given faults
 // against a test stimulus; workers ≤ 0 uses GOMAXPROCS.
-func SimulateFaults(net *Network, faults []Fault, stimulus *Tensor, workers int) *fault.SimResult {
+func SimulateFaults(net *Network, faults []Fault, stimulus *Tensor, workers int) (*fault.SimResult, error) {
 	return fault.Simulate(net, faults, stimulus, workers, nil)
 }
 
 // ClassifyFaults labels faults critical (top-1 flip on ≥ 1 sample) or
 // benign against the evaluation stimuli.
-func ClassifyFaults(net *Network, faults []Fault, samples []*Tensor, workers int) []bool {
+func ClassifyFaults(net *Network, faults []Fault, samples []*Tensor, workers int) ([]bool, error) {
 	return fault.Classify(net, faults, samples, workers, nil)
 }
 
 // FaultCoverage tallies per-class coverage from detection and criticality
 // flags.
-func FaultCoverage(faults []Fault, detected, critical []bool) fault.Coverage {
+func FaultCoverage(faults []Fault, detected, critical []bool) (fault.Coverage, error) {
 	return fault.Compute(faults, detected, critical)
 }
 
 // CompactTest drops generated chunks whose fault detections are covered
 // by the remaining chunks, preserving coverage of the given fault list
 // while shortening the test (the paper's future-work direction).
-func CompactTest(net *Network, res *TestResult, faults []Fault, workers int) (*TestResult, core.CompactionStats) {
+func CompactTest(net *Network, res *TestResult, faults []Fault, workers int) (*TestResult, core.CompactionStats, error) {
 	return core.Compact(net, res, faults, workers)
 }

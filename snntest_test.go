@@ -9,7 +9,7 @@ import (
 // quickstart does: build → generate → enumerate → simulate → coverage.
 func TestFacadeEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	net := BuildSHD(rng, ScaleTiny)
+	net := must(BuildSHD(rng, ScaleTiny))
 	if net.NumNeurons() == 0 || net.NumSynapses() == 0 {
 		t.Fatal("degenerate network")
 	}
@@ -18,7 +18,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	cfg.Seed = 2
 	cfg.Steps1 = 30
 	cfg.MaxIterations = 3
-	res := GenerateTest(net, cfg)
+	res := must(GenerateTest(net, cfg))
 	if res.TotalSteps() < 1 {
 		t.Fatal("no stimulus")
 	}
@@ -32,15 +32,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 	for i := 0; i < len(universe); i += 11 {
 		faults = append(faults, universe[i])
 	}
-	sim := SimulateFaults(net, faults, res.Stimulus, 0)
+	sim := must(SimulateFaults(net, faults, res.Stimulus, 0))
 	if sim.NumDetected() == 0 {
 		t.Error("optimized stimulus detected nothing")
 	}
 
 	// Classify against two random stimuli acting as dataset samples.
 	samples := []*Tensor{res.Stimulus}
-	critical := ClassifyFaults(net, faults, samples, 0)
-	cov := FaultCoverage(faults, sim.Detected, critical)
+	critical := must(ClassifyFaults(net, faults, samples, 0))
+	cov := must(FaultCoverage(faults, sim.Detected, critical))
 	if cov.TotalFaults != len(faults) {
 		t.Error("coverage partition mismatch")
 	}
@@ -51,10 +51,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestFacadeBuilders(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	if BuildNMNIST(rng, ScaleTiny).Name != "nmnist" {
+	if must(BuildNMNIST(rng, ScaleTiny)).Name != "nmnist" {
 		t.Error("BuildNMNIST name")
 	}
-	if BuildIBMGesture(rng, ScaleTiny).Name != "ibm-gesture" {
+	if must(BuildIBMGesture(rng, ScaleTiny)).Name != "ibm-gesture" {
 		t.Error("BuildIBMGesture name")
 	}
 	if DefaultGenConfig().Steps1 != 2000 {

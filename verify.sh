@@ -1,0 +1,16 @@
+#!/bin/sh
+# verify.sh — the full verification gate for this repo.
+#
+# Tier 1 (build + vet) must always pass; the snnlint suite enforces the
+# repo-specific invariants (see internal/lint and README.md), and the
+# race run exercises the campaign worker pools and the tensor
+# concurrency contract. Any non-zero exit fails the gate.
+set -eu
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go run ./cmd/snnlint ./...
+go test -race ./...
+
+echo "verify.sh: all gates passed"
