@@ -14,6 +14,7 @@
 package snntest
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -317,6 +318,78 @@ func BenchmarkFaultSimulationCampaign(b *testing.B) {
 		fault.Simulate(p.Net, faults, stim, 0, nil)
 	}
 	b.ReportMetric(float64(len(faults)), "faults")
+}
+
+// campaignBenchRow is one benchmark's entry in BENCH_campaign.json.
+type campaignBenchRow struct {
+	Benchmark              string  `json:"benchmark"`
+	Faults                 int     `json:"faults"`
+	SimLayerSteps          int64   `json:"sim_layer_steps"`
+	SimFullLayerSteps      int64   `json:"sim_full_layer_steps"`
+	SimSavingsX            float64 `json:"sim_savings_x"`
+	ClassifyLayerSteps     int64   `json:"classify_layer_steps"`
+	ClassifyFullLayerSteps int64   `json:"classify_full_layer_steps"`
+	ClassifySavingsX       float64 `json:"classify_savings_x"`
+}
+
+// BenchmarkCampaignIncremental times the incremental (golden-trace
+// replay + early exit) fault-simulation campaign across the three tiny
+// pipelines and emits the simulated-layer-step counters — the work saved
+// versus full re-simulation — to BENCH_campaign.json (override the path
+// with BENCH_CAMPAIGN_OUT). The layerstep-x metric is the aggregate
+// full/incremental work ratio.
+func BenchmarkCampaignIncremental(b *testing.B) {
+	ps := pipelines(b)
+	stims := map[string]*tensor.Tensor{}
+	for i, name := range experiments.Benchmarks {
+		stims[name] = tensor.RandBernoulli(rand.New(rand.NewSource(int64(20+i))), 0.3,
+			append([]int{30}, ps[name].Net.InShape...)...)
+	}
+	var results map[string]*fault.SimResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = map[string]*fault.SimResult{}
+		for _, name := range experiments.Benchmarks {
+			results[name] = must(fault.Simulate(ps[name].Net, ps[name].Faults(), stims[name], 0, nil))
+		}
+	}
+	b.StopTimer()
+	var steps, fullSteps int64
+	for _, r := range results {
+		steps += r.LayerSteps
+		fullSteps += r.FullLayerSteps
+	}
+	b.ReportMetric(float64(fullSteps)/float64(steps), "layerstep-x")
+	printArtifact("campaign-json", func() {
+		rows := make([]campaignBenchRow, 0, len(experiments.Benchmarks))
+		for _, name := range experiments.Benchmarks {
+			p, r := ps[name], results[name]
+			testIn, _ := p.Data.Inputs("test")
+			cls := must(fault.ClassifyWith(p.Net, p.Faults(), testIn, fault.CampaignOptions{}))
+			rows = append(rows, campaignBenchRow{
+				Benchmark:              name,
+				Faults:                 len(p.Faults()),
+				SimLayerSteps:          r.LayerSteps,
+				SimFullLayerSteps:      r.FullLayerSteps,
+				SimSavingsX:            float64(r.FullLayerSteps) / float64(r.LayerSteps),
+				ClassifyLayerSteps:     cls.LayerSteps,
+				ClassifyFullLayerSteps: cls.FullLayerSteps,
+				ClassifySavingsX:       float64(cls.FullLayerSteps) / float64(cls.LayerSteps),
+			})
+		}
+		out := os.Getenv("BENCH_CAMPAIGN_OUT")
+		if out == "" {
+			out = "BENCH_campaign.json"
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("campaign layer-step counters written to %s\n\n", out)
+	})
 }
 
 // nopWriter discards figure output in timed loops.

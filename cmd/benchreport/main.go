@@ -5,7 +5,7 @@
 //
 //	benchreport [-scale tiny|small|full] [-seed N] [-workers N]
 //	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
-//	            [-bench nmnist,ibm-gesture,shd] [-v]
+//	            [-bench nmnist,ibm-gesture,shd] [-v] [-out report.txt]
 //
 // With no artifact flags, -all is implied. Tables I–III run on every
 // selected benchmark; Table IV and the figures follow the paper's choices
@@ -35,6 +35,7 @@ func main() {
 		all       = flag.Bool("all", false, "render every table, figure and ablation")
 		benchList = flag.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
 		verbose   = flag.Bool("v", false, "log pipeline progress")
+		outPath   = flag.String("out", "", "write the report to this file (default: stdout)")
 	)
 	flag.Parse()
 
@@ -69,7 +70,19 @@ func main() {
 	if len(pipes) == 0 {
 		fatal(fmt.Errorf("no benchmarks selected"))
 	}
-	out := os.Stdout
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
 
 	if *all || *table == 1 {
 		rows := make([]experiments.Table1Row, len(pipes))

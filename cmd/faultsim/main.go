@@ -6,7 +6,12 @@
 // Usage:
 //
 //	faultsim -bench shd [-scale tiny|small|full] [-stride N]
-//	         [-weights file.gob] [-extended] [-workers N] [-seed N]
+//	         [-weights file.gob] [-extended] [-workers N] [-seed N] [-full]
+//
+// By default the campaign is incremental: each faulty simulation replays
+// the golden spike trace up to the fault's layer and re-simulates only
+// the layers above it. -full forces the reference full re-simulation of
+// every fault (same results, more simulated layer-steps).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/repro/snntest/internal/dataset"
@@ -32,6 +38,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
 		epochs    = flag.Int("epochs", 4, "in-process training epochs when -weights is absent")
 		seed      = flag.Int64("seed", 1, "random seed")
+		full      = flag.Bool("full", false, "disable incremental golden-trace replay (full re-simulation per fault)")
 	)
 	flag.Parse()
 
@@ -81,14 +88,22 @@ func main() {
 
 	testIn, _ := ds.Inputs("test")
 	start := time.Now()
-	critical, err := fault.Classify(net, faults, testIn, *workers, func(done int) {
-		fmt.Fprintf(os.Stderr, "\rclassified %d/%d", done, len(faults))
+	var progressMu sync.Mutex
+	res, err := fault.ClassifyWith(net, faults, testIn, fault.CampaignOptions{
+		Workers:   *workers,
+		FullResim: *full,
+		Progress: func(done int) {
+			progressMu.Lock()
+			fmt.Fprintf(os.Stderr, "\rclassified %d/%d", done, len(faults))
+			progressMu.Unlock()
+		},
 	})
 	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	critical := res.Critical
 
 	var cn, bn, cs, bs int
 	for i, f := range faults {
@@ -110,6 +125,8 @@ func main() {
 	fmt.Printf("  benign synapse faults:   %d\n", bs)
 	fmt.Printf("  campaign time:           %v (%.2f ms/fault)\n",
 		elapsed.Round(time.Millisecond), float64(elapsed.Milliseconds())/float64(len(faults)))
+	fmt.Printf("  simulated layer-steps:   %d of %d full (%.2fx saved)\n",
+		res.LayerSteps, res.FullLayerSteps, float64(res.FullLayerSteps)/float64(res.LayerSteps))
 }
 
 func parseScale(s string) (snn.ModelScale, error) {

@@ -4,17 +4,40 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 )
 
+// CampaignOptions tunes a fault-simulation campaign.
+type CampaignOptions struct {
+	// Workers is the campaign worker count; ≤ 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called periodically with the number of
+	// completed faults. It runs outside every campaign lock and — with
+	// more than one worker — possibly from several goroutines at once,
+	// so it must be safe for concurrent use.
+	Progress func(done int)
+	// FullResim disables golden-trace replay and early exit, re-running
+	// the whole network from layer 0 over the full duration for every
+	// fault. It exists as the reference path: results are identical to
+	// the incremental default, only slower.
+	FullResim bool
+}
+
 // SimResult is the outcome of one fault-simulation campaign against a
 // test stimulus.
 type SimResult struct {
 	Detected []bool // parallel to the fault list
 	Elapsed  time.Duration
+	// LayerSteps counts the (layer, time-step) simulation units actually
+	// executed across the campaign; FullLayerSteps is what a full
+	// re-simulation of every fault would have executed. Their ratio is
+	// the incremental campaign's work saving.
+	LayerSteps     int64
+	FullLayerSteps int64
 }
 
 // NumDetected counts detected faults.
@@ -28,6 +51,15 @@ func (r *SimResult) NumDetected() int {
 	return n
 }
 
+// ClassifyResult is the outcome of a criticality-labelling campaign.
+type ClassifyResult struct {
+	Critical []bool // parallel to the fault list
+	Elapsed  time.Duration
+	// LayerSteps / FullLayerSteps mirror SimResult's work counters.
+	LayerSteps     int64
+	FullLayerSteps int64
+}
+
 // workerCount resolves a worker request against GOMAXPROCS.
 func workerCount(requested int) int {
 	if requested > 0 {
@@ -37,7 +69,8 @@ func workerCount(requested int) int {
 }
 
 // parallelFaults fans the fault indices out over per-worker injectors and
-// calls fn(injector, faultIndex) for each.
+// calls fn(injector, faultIndex) for each. Each injector (and its scratch)
+// is confined to one worker goroutine.
 func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, i int)) {
 	workers = workerCount(workers)
 	if workers > n {
@@ -69,39 +102,66 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 	wg.Wait()
 }
 
-// Simulate runs the full fault-simulation campaign: each fault is
-// injected in turn and the network is simulated on the stimulus; the
-// fault is detected if the output spike trains differ from the golden
-// response in L1 (Eq. 3). workers ≤ 0 uses GOMAXPROCS. progress, when
-// non-nil, is called periodically with the number of completed faults.
+// reportProgress bumps the atomic completion counter and invokes the user
+// callback outside any lock, every stride completions and at the end.
+func reportProgress(done *atomic.Int64, total, stride int, progress func(int)) {
+	d := done.Add(1)
+	if progress != nil && (d%int64(stride) == 0 || int(d) == total) {
+		progress(int(d))
+	}
+}
+
+// Simulate runs the fault-simulation campaign: each fault is injected in
+// turn and the network is simulated on the stimulus; the fault is
+// detected if the output spike trains differ from the golden response in
+// L1 (Eq. 3). workers ≤ 0 uses GOMAXPROCS. progress, when non-nil, is
+// called periodically with the number of completed faults (see
+// CampaignOptions.Progress for its concurrency contract).
+//
+// The campaign is incremental: a fault at layer ℓ cannot perturb layers
+// below ℓ, so simulation replays the golden record up to the fault site
+// and re-simulates only layers ≥ ℓ, stopping at the first time step whose
+// output row diverges from the golden response. Detection flags are
+// identical to a full re-simulation of every fault.
 func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, workers int, progress func(done int)) (*SimResult, error) {
+	return SimulateWith(golden, faults, stimulus, CampaignOptions{Workers: workers, Progress: progress})
+}
+
+// SimulateWith is Simulate with explicit campaign options.
+func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, opts CampaignOptions) (*SimResult, error) {
 	start := time.Now()
-	if _, err := golden.CheckInput(stimulus); err != nil {
+	steps, err := golden.CheckInput(stimulus)
+	if err != nil {
 		return nil, fmt.Errorf("fault: Simulate: %w", err)
 	}
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
-	goldenOut := golden.Run(stimulus).Output()
-	res := &SimResult{Detected: make([]bool, len(faults))}
-	var done int64
-	var mu sync.Mutex
-	parallelFaults(golden, len(faults), workers, func(inj *Injector, i int) {
-		revert := inj.Apply(faults[i])
-		out := inj.Net().Run(stimulus).Output()
+	goldenRec := golden.Run(stimulus)
+	goldenOut := goldenRec.Output()
+	fullPerFault := int64(len(golden.Layers)) * int64(steps)
+	res := &SimResult{
+		Detected:       make([]bool, len(faults)),
+		FullLayerSteps: int64(len(faults)) * fullPerFault,
+	}
+	var done, layerSteps atomic.Int64
+	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
+		f := faults[i]
+		revert := inj.Apply(f)
+		var detected bool
+		var ls int
+		if opts.FullResim {
+			rec, n := inj.Scratch().RunFrom(0, nil, stimulus)
+			detected, ls = tensor.L1Diff(goldenOut, rec.Output()) > 0, n
+		} else {
+			detected, ls = inj.Scratch().DivergesFrom(f.StartLayer(), goldenRec, stimulus)
+		}
 		revert()
-		if tensor.L1Diff(goldenOut, out) > 0 {
-			res.Detected[i] = true
-		}
-		if progress != nil {
-			mu.Lock()
-			done++
-			if done%256 == 0 || int(done) == len(faults) {
-				progress(int(done))
-			}
-			mu.Unlock()
-		}
+		res.Detected[i] = detected
+		layerSteps.Add(int64(ls))
+		reportProgress(&done, len(faults), 256, opts.Progress)
 	})
+	res.LayerSteps = layerSteps.Load()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -109,8 +169,23 @@ func Simulate(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, work
 // Classify labels each fault critical (true) or benign (false): a fault
 // is critical when it flips the top-1 prediction of at least one of the
 // labelled evaluation stimuli (the paper's criterion). This is the
-// expensive full-dataset campaign of Table II.
+// expensive full-dataset campaign of Table II; like Simulate it starts
+// each faulty simulation at the fault site by golden-trace replay.
 func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, workers int, progress func(done int)) ([]bool, error) {
+	res, err := ClassifyWith(golden, faults, samples, CampaignOptions{Workers: workers, Progress: progress})
+	if err != nil {
+		return nil, err
+	}
+	return res.Critical, nil
+}
+
+// ClassifyWith is Classify with explicit campaign options. The golden
+// network is simulated once per sample and the per-layer spike records
+// are kept for replay, so memory grows with samples × total neurons ×
+// steps; the per-fault cost drops from a full-network run per sample to
+// the layers at and above the fault site.
+func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, opts CampaignOptions) (*ClassifyResult, error) {
+	start := time.Now()
 	for si, s := range samples {
 		if _, err := golden.CheckInput(s); err != nil {
 			return nil, fmt.Errorf("fault: Classify: sample %d: %w", si, err)
@@ -119,32 +194,48 @@ func Classify(golden *snn.Network, faults []Fault, samples []*tensor.Tensor, wor
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
+	goldenRecs := make([]*snn.Record, len(samples))
 	goldenPred := make([]int, len(samples))
+	var fullPerFault int64
 	for i, s := range samples {
-		goldenPred[i] = golden.Predict(s)
+		goldenRecs[i] = golden.Run(s)
+		goldenPred[i] = tensor.ArgMax(goldenRecs[i].OutputCounts())
+		fullPerFault += int64(len(golden.Layers)) * int64(goldenRecs[i].Steps)
 	}
-	critical := make([]bool, len(faults))
-	var done int64
-	var mu sync.Mutex
-	parallelFaults(golden, len(faults), workers, func(inj *Injector, i int) {
-		revert := inj.Apply(faults[i])
+	res := &ClassifyResult{
+		Critical:       make([]bool, len(faults)),
+		FullLayerSteps: int64(len(faults)) * fullPerFault,
+	}
+	var done, layerSteps atomic.Int64
+	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
+		f := faults[i]
+		startLayer := f.StartLayer()
+		if opts.FullResim {
+			startLayer = 0
+		}
+		revert := inj.Apply(f)
+		ls := 0
 		for si, s := range samples {
-			if inj.Net().Predict(s) != goldenPred[si] {
-				critical[i] = true
+			var rec *snn.Record
+			var n int
+			if startLayer == 0 {
+				rec, n = inj.Scratch().RunFrom(0, nil, s)
+			} else {
+				rec, n = inj.Scratch().RunFrom(startLayer, goldenRecs[si], s)
+			}
+			ls += n
+			if tensor.ArgMax(rec.OutputCounts()) != goldenPred[si] {
+				res.Critical[i] = true
 				break
 			}
 		}
 		revert()
-		if progress != nil {
-			mu.Lock()
-			done++
-			if done%64 == 0 || int(done) == len(faults) {
-				progress(int(done))
-			}
-			mu.Unlock()
-		}
+		layerSteps.Add(int64(ls))
+		reportProgress(&done, len(faults), 64, opts.Progress)
 	})
-	return critical, nil
+	res.LayerSteps = layerSteps.Load()
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // AccuracyDrop returns how much the network's top-1 accuracy on the
@@ -157,10 +248,12 @@ func AccuracyDrop(golden *snn.Network, f Fault, samples []*tensor.Tensor, labels
 	revert := inj.Apply(f)
 	defer revert()
 	for i, s := range samples {
-		if golden.Predict(s) == labels[i] {
+		goldenRec := golden.Run(s)
+		if tensor.ArgMax(goldenRec.OutputCounts()) == labels[i] {
 			correctGolden++
 		}
-		if inj.Net().Predict(s) == labels[i] {
+		rec, _ := inj.Scratch().RunFrom(f.StartLayer(), goldenRec, s)
+		if tensor.ArgMax(rec.OutputCounts()) == labels[i] {
 			correctFaulty++
 		}
 	}

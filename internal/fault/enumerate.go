@@ -6,7 +6,10 @@ import (
 
 // Enumerate lists the fault universe of the network under the given
 // options, in deterministic order: layer by layer, neurons before
-// synapses, kinds in declaration order.
+// synapses, kinds in declaration order. Every fault is tagged with the
+// index of its affected layer (Fault.Layer, see Fault.StartLayer): the
+// incremental campaign replays the golden trace up to that layer and
+// re-simulates only the layers at and above it.
 func Enumerate(net *snn.Network, opts Options) []Fault {
 	var faults []Fault
 	deltas := opts.TimingDeltas

@@ -13,6 +13,7 @@ import (
 type Injector struct {
 	net     *snn.Network
 	satVals []float64 // per-layer saturation magnitude: SaturationFactor·max|w|
+	scratch *snn.Scratch
 }
 
 // NewInjector clones the golden network for fault application.
@@ -28,6 +29,17 @@ func NewInjector(golden *snn.Network) *Injector {
 // Net returns the injector's working network. It reflects the currently
 // applied fault, if any.
 func (inj *Injector) Net() *snn.Network { return inj.net }
+
+// Scratch returns the injector's reusable simulation scratch, allocated
+// on first use. Campaign loops run thousands of simulations through it so
+// the per-fault state and record allocations of a cold snn.Network.Run
+// disappear; like the injector itself, it belongs to one goroutine.
+func (inj *Injector) Scratch() *snn.Scratch {
+	if inj.scratch == nil {
+		inj.scratch = inj.net.NewScratch()
+	}
+	return inj.scratch
+}
 
 // Apply injects f into the working network and returns a function that
 // restores the pre-fault state. Exactly one fault should be active at a

@@ -94,6 +94,15 @@ type Fault struct {
 	Delta   float64 // perturbation factor for parametric kinds
 }
 
+// StartLayer returns the index of the first layer whose activity the
+// fault can perturb — the replay start site of the incremental campaign.
+// Both neuron and synapse faults first alter their own layer's spike
+// output (a synapse fault changes the current entering that layer's
+// neurons), so every layer below is bit-identical to the golden run and
+// can be replayed from the golden record instead of re-simulated.
+// Enumerate tags each fault with this layer index.
+func (f Fault) StartLayer() int { return f.Layer }
+
 func (f Fault) String() string {
 	if f.Kind.IsNeuron() {
 		if f.Delta != 0 {

@@ -77,13 +77,17 @@ func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.T
 	if err := fault.Validate(net, faults); err != nil {
 		return ClassDiffs{}, err
 	}
-	goldenCounts := net.Run(stimulus).OutputCounts()
+	goldenRec := net.Run(stimulus)
+	goldenCounts := goldenRec.OutputCounts()
 	classes := goldenCounts.Len()
 	cd := ClassDiffs{Diffs: make([][]float64, classes)}
 	inj := fault.NewInjector(net)
 	for _, f := range faults {
 		revert := inj.Apply(f)
-		counts := inj.Net().Run(stimulus).OutputCounts()
+		// Golden-trace replay: only the layers at and above the fault
+		// site need re-simulation (see fault.Simulate).
+		rec, _ := inj.Scratch().RunFrom(f.StartLayer(), goldenRec, stimulus)
+		counts := rec.OutputCounts()
 		revert()
 		detected := false
 		diffs := make([]float64, classes)

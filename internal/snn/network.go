@@ -148,74 +148,202 @@ type fastLayerState struct {
 	lastSpike []float64 // previous step's output spikes
 	refrac    []int     // remaining refractory steps
 	outShape  []int
+	// lastSpikeT persistently wraps lastSpike for recurrent projections,
+	// so the hot loop does not re-wrap the slice every step.
+	lastSpikeT *tensor.Tensor
+	recurrent  bool
+}
+
+// reset clears the state to the fresh-network condition.
+func (st *fastLayerState) reset() {
+	for i := range st.u {
+		st.u[i] = 0
+		st.lastSpike[i] = 0
+		st.refrac[i] = 0
+	}
+}
+
+// Scratch holds reusable simulation state — per-layer membrane/refractory
+// buffers and spike-record storage — so repeated Run/RunFrom calls (a
+// fault-simulation campaign simulates one run per fault) allocate nothing
+// per run. A Scratch belongs to one goroutine; the record returned by its
+// RunFrom is overwritten by the next call.
+type Scratch struct {
+	net    *Network
+	states []*fastLayerState
+	// own[li] is the scratch-owned spike buffer of layer li, lazily sized
+	// to the current step count. Record layers below the replay start
+	// alias the golden record instead, so the two sets are kept separate.
+	own []*tensor.Tensor
+}
+
+// NewScratch allocates reusable simulation state for this network. The
+// scratch is tied to the network's geometry, so it is equally valid for
+// any clone of the network (fault injectors simulate on clones).
+func (n *Network) NewScratch() *Scratch {
+	states := make([]*fastLayerState, len(n.Layers))
+	for i, l := range n.Layers {
+		nn := l.NumNeurons()
+		st := &fastLayerState{
+			u:         make([]float64, nn),
+			lastSpike: make([]float64, nn),
+			refrac:    make([]int, nn),
+			outShape:  l.Proj.OutShape(),
+		}
+		if _, ok := l.Proj.(*RecurrentProj); ok {
+			st.recurrent = true
+			st.lastSpikeT = tensor.FromSlice(st.lastSpike, nn)
+		}
+		states[i] = st
+	}
+	return &Scratch{net: n, states: states, own: make([]*tensor.Tensor, len(n.Layers))}
+}
+
+// runFrom is the single simulation loop behind Run, RunFrom and
+// DivergesFrom. It simulates layers [start, L) over the stimulus: layer
+// start receives the raw stimulus when start == 0, and the golden record's
+// layer start-1 spike trains otherwise (a fault at layer start cannot
+// perturb layers below it, so their golden outputs are exact). When
+// stopOnDiverge is set, the loop compares the output row against golden
+// after each step and returns at the first divergence. It returns the
+// record (layers < start alias golden, read-only), the number of simulated
+// layer-steps, and the divergence flag.
+func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, stopOnDiverge bool) (*Record, int, bool) {
+	n := s.net
+	steps, err := n.CheckInput(stimulus)
+	if err != nil {
+		// Hot-path boundary: a bad stimulus shape here is a programmer
+		// error — campaign entry points validate before their loops.
+		failf("%v", err)
+	}
+	last := len(n.Layers) - 1
+	if start < 0 || start > last {
+		failf("snn: RunFrom start layer %d out of range [0, %d]", start, last)
+	}
+	if start > 0 || stopOnDiverge {
+		if golden == nil {
+			failf("snn: RunFrom start layer %d requires a golden record", start)
+		}
+		if !golden.Matches(n, steps) {
+			failf("snn: golden record (%d steps, %d layers) does not match stimulus %d steps, network %d layers",
+				golden.Steps, len(golden.Layers), steps, len(n.Layers))
+		}
+	}
+	rec := &Record{Steps: steps, Layers: make([]*tensor.Tensor, len(n.Layers))}
+	for li := 0; li < start; li++ {
+		rec.Layers[li] = golden.Layers[li]
+	}
+	for li := start; li < len(n.Layers); li++ {
+		if s.own[li] == nil || s.own[li].Dim(0) != steps {
+			s.own[li] = tensor.New(steps, n.Layers[li].NumNeurons())
+		}
+		rec.Layers[li] = s.own[li]
+		s.states[li].reset()
+	}
+	var outRow, goldenRow *tensor.Tensor
+	if stopOnDiverge {
+		outRow, goldenRow = rec.Layers[last], golden.Layers[last]
+	}
+	layerSteps := 0
+	for t := 0; t < steps; t++ {
+		var in *tensor.Tensor
+		if start == 0 {
+			in = stimulus.Step(t)
+		} else {
+			in = golden.ReplayInput(start, t)
+		}
+		for li := start; li < len(n.Layers); li++ {
+			l := n.Layers[li]
+			st := s.states[li]
+			var lastOut *tensor.Tensor
+			if st.recurrent {
+				lastOut = st.lastSpikeT
+			}
+			cur := l.Proj.Forward(in, lastOut)
+			cd := cur.Data()
+			out := rec.Layers[li].RawRange(t*len(cd), len(cd))
+			stepLayer(l, st, cd, out)
+			layerSteps++
+			in = tensor.FromSlice(out, st.outShape...)
+		}
+		if stopOnDiverge && !tensor.RowEqual(outRow, goldenRow, t) {
+			return rec, layerSteps, true
+		}
+	}
+	return rec, layerSteps, false
+}
+
+// stepLayer advances one layer by one time step: cd is the synaptic
+// current, out receives the output spikes, st carries the LIF state.
+func stepLayer(l *Layer, st *fastLayerState, cd, out []float64) {
+	for i := range cd {
+		var s float64
+		switch l.mode(i) {
+		case NeuronDead:
+			// Halts propagation: never fires. Membrane bookkeeping
+			// is irrelevant downstream; keep it reset.
+			st.u[i] = 0
+		case NeuronSaturated:
+			// Fires non-stop regardless of input or refractoriness.
+			s = 1
+			st.u[i] = 0
+		default:
+			gate := 1.0
+			if st.refrac[i] > 0 {
+				gate = 0
+			}
+			u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + cd[i])
+			if u > l.threshold(i) {
+				s = 1
+			}
+			st.u[i] = u
+			if st.refrac[i] > 0 {
+				st.refrac[i]--
+			} else if s == 1 {
+				st.refrac[i] = l.refractory(i)
+			}
+		}
+		out[i] = s
+		st.lastSpike[i] = s
+	}
 }
 
 // Run simulates the network on the stimulus (shape [T, InShape...]) from a
 // fresh state and records every neuron's output spike train. This is the
 // fast, non-differentiable path used for inference and fault simulation.
 func (n *Network) Run(input *tensor.Tensor) *Record {
-	steps, err := n.CheckInput(input)
-	if err != nil {
-		// Hot-path boundary: a bad stimulus shape here is a programmer
-		// error — campaign entry points validate before their loops.
-		failf("%v", err)
-	}
-	states := make([]*fastLayerState, len(n.Layers))
-	for i, l := range n.Layers {
-		nn := l.NumNeurons()
-		states[i] = &fastLayerState{
-			u:         make([]float64, nn),
-			lastSpike: make([]float64, nn),
-			refrac:    make([]int, nn),
-			outShape:  l.Proj.OutShape(),
-		}
-	}
-	rec := NewRecord(n, steps)
-	for t := 0; t < steps; t++ {
-		in := input.Step(t)
-		for li, l := range n.Layers {
-			st := states[li]
-			var lastOut *tensor.Tensor
-			if _, ok := l.Proj.(*RecurrentProj); ok {
-				lastOut = tensor.FromSlice(st.lastSpike, l.NumNeurons())
-			}
-			cur := l.Proj.Forward(in, lastOut)
-			cd := cur.Data()
-			out := rec.Layers[li].RawRange(t*len(cd), len(cd))
-			for i := range cd {
-				var s float64
-				switch l.mode(i) {
-				case NeuronDead:
-					// Halts propagation: never fires. Membrane bookkeeping
-					// is irrelevant downstream; keep it reset.
-					st.u[i] = 0
-				case NeuronSaturated:
-					// Fires non-stop regardless of input or refractoriness.
-					s = 1
-					st.u[i] = 0
-				default:
-					gate := 1.0
-					if st.refrac[i] > 0 {
-						gate = 0
-					}
-					u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + cd[i])
-					if u > l.threshold(i) {
-						s = 1
-					}
-					st.u[i] = u
-					if st.refrac[i] > 0 {
-						st.refrac[i]--
-					} else if s == 1 {
-						st.refrac[i] = l.refractory(i)
-					}
-				}
-				out[i] = s
-				st.lastSpike[i] = s
-			}
-			in = tensor.FromSlice(out, st.outShape...)
-		}
-	}
+	rec, _, _ := n.NewScratch().runFrom(0, nil, input, false)
 	return rec
+}
+
+// RunFrom simulates only layers ≥ start, replaying the golden record's
+// layer start-1 spike trains as layer start's input (the stimulus when
+// start == 0). It is exact whenever the network differs from the golden
+// network only at layers ≥ start — the incremental fault-simulation fast
+// path. Layers < start of the returned record alias the golden record and
+// must be treated as read-only.
+func (n *Network) RunFrom(start int, golden *Record, stimulus *tensor.Tensor) *Record {
+	rec, _, _ := n.NewScratch().runFrom(start, golden, stimulus, false)
+	return rec
+}
+
+// RunFrom is the scratch-reusing variant of Network.RunFrom; it also
+// reports the number of simulated layer-steps. The returned record's
+// layers ≥ start are owned by the scratch and overwritten by the next
+// call; layers < start alias golden.
+func (s *Scratch) RunFrom(start int, golden *Record, stimulus *tensor.Tensor) (*Record, int) {
+	rec, layerSteps, _ := s.runFrom(start, golden, stimulus, false)
+	return rec, layerSteps
+}
+
+// DivergesFrom simulates layers ≥ start with golden-trace replay and
+// early exit: it returns true at the first time step whose output row
+// differs from the golden record (the Eq. 3 any-L1-difference detection
+// criterion), without simulating the remaining steps. The second result
+// is the number of layer-steps actually simulated.
+func (s *Scratch) DivergesFrom(start int, golden *Record, stimulus *tensor.Tensor) (bool, int) {
+	_, layerSteps, diverged := s.runFrom(start, golden, stimulus, true)
+	return diverged, layerSteps
 }
 
 // Predict runs the network on the stimulus and returns the rate-decoded

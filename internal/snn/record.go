@@ -22,6 +22,30 @@ func NewRecord(n *Network, steps int) *Record {
 	return r
 }
 
+// ReplayInput returns the recorded spike frame that feeds layer `layer`
+// at step t when this record is replayed as the input of an incremental
+// re-simulation: layer ℓ ≥ 1 is driven by layer ℓ−1's recorded output
+// row, returned as a length-N view sharing the record's storage (layer 0
+// is driven by the raw stimulus, which the record does not hold).
+func (r *Record) ReplayInput(layer, t int) *tensor.Tensor {
+	return r.Layers[layer-1].Step(t)
+}
+
+// Matches reports whether the record can serve as the golden replay trace
+// for the network over the given step count: same layer count, same step
+// count, and per-layer widths equal to the network's neuron counts.
+func (r *Record) Matches(n *Network, steps int) bool {
+	if r.Steps != steps || len(r.Layers) != len(n.Layers) {
+		return false
+	}
+	for i, l := range n.Layers {
+		if r.Layers[i].Dim(1) != l.NumNeurons() {
+			return false
+		}
+	}
+	return true
+}
+
 // Counts returns the per-neuron spike counts |O^{ℓi}| of layer ℓ.
 func (r *Record) Counts(layer int) *tensor.Tensor {
 	return tensor.SumCols(r.Layers[layer])

@@ -1,0 +1,211 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// fixtureNets builds one tiny network per builder plus variants that
+// exercise the state machinery: a recurrent net with dead/saturated
+// neuron overrides.
+func fixtureNets(t *testing.T) map[string]*Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	nets := map[string]*Network{
+		"nmnist":      must(BuildNMNIST(rng, ScaleTiny)),
+		"ibm-gesture": must(BuildIBMGesture(rng, ScaleTiny)),
+		"shd":         must(BuildSHD(rng, ScaleTiny)),
+	}
+	faulty := must(BuildSHD(rng, ScaleTiny))
+	faulty.Layers[0].SetNeuronMode(0, NeuronDead)
+	faulty.Layers[0].SetNeuronMode(1, NeuronSaturated)
+	faulty.Layers[1].SetNeuronMode(2, NeuronSaturated)
+	nets["shd-faulty"] = faulty
+	return nets
+}
+
+func fixtureStim(net *Network, steps int, seed int64) *tensor.Tensor {
+	return tensor.RandBernoulli(rand.New(rand.NewSource(seed)), 0.4,
+		append([]int{steps}, net.InShape...)...)
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Steps != b.Steps || len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for i := range a.Layers {
+		if !tensor.Equal(a.Layers[i], b.Layers[i], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivRunDeterminism pins that repeated Run calls — including on
+// recurrent networks and networks with dead/saturated neuron overrides —
+// produce bit-identical records. verify.sh re-runs the Equiv tests with
+// -count=2, so cross-process determinism is covered too.
+func TestEquivRunDeterminism(t *testing.T) {
+	for name, net := range fixtureNets(t) {
+		stim := fixtureStim(net, 12, 51)
+		first := net.Run(stim)
+		for rep := 0; rep < 3; rep++ {
+			if !recordsEqual(first, net.Run(stim)) {
+				t.Errorf("%s: repeated Run produced a different record (rep %d)", name, rep)
+			}
+		}
+	}
+}
+
+// TestEquivRunFromZeroMatchesRun pins RunFrom(0, …) to Run on every
+// builder fixture: with no replay the incremental entry point must be the
+// plain simulator.
+func TestEquivRunFromZeroMatchesRun(t *testing.T) {
+	for name, net := range fixtureNets(t) {
+		stim := fixtureStim(net, 10, 52)
+		golden := net.Run(stim)
+		if !recordsEqual(golden, net.RunFrom(0, golden, stim)) {
+			t.Errorf("%s: RunFrom(0) differs from Run", name)
+		}
+		// Scratch-reusing variant, repeated to catch stale state.
+		sc := net.NewScratch()
+		for rep := 0; rep < 2; rep++ {
+			rec, steps := sc.RunFrom(0, golden, stim)
+			if !recordsEqual(golden, rec) {
+				t.Errorf("%s: Scratch.RunFrom(0) differs from Run (rep %d)", name, rep)
+			}
+			if want := len(net.Layers) * golden.Steps; steps != want {
+				t.Errorf("%s: layer-steps = %d, want %d", name, steps, want)
+			}
+		}
+	}
+}
+
+// TestEquivRunFromReplayMatchesFullRun is the core replay-correctness
+// property: perturb one weight (or neuron) at layer s, then the faulty
+// network's RunFrom(s, golden, stim) must match its full Run exactly on
+// every layer ≥ s, for every start layer of every fixture.
+func TestEquivRunFromReplayMatchesFullRun(t *testing.T) {
+	for name, net := range fixtureNets(t) {
+		stim := fixtureStim(net, 10, 53)
+		golden := net.Run(stim)
+		for s := 0; s < len(net.Layers); s++ {
+			faulty := net.Clone()
+			// Perturb layer s so downstream activity actually changes:
+			// saturate a neuron (works for weightless pool layers too).
+			faulty.Layers[s].SetNeuronMode(0, NeuronSaturated)
+			full := faulty.Run(stim)
+			inc := faulty.RunFrom(s, golden, stim)
+			for li := s; li < len(net.Layers); li++ {
+				if !tensor.Equal(full.Layers[li], inc.Layers[li], 0) {
+					t.Errorf("%s: start %d: layer %d differs between full Run and RunFrom", name, s, li)
+				}
+			}
+			for li := 0; li < s; li++ {
+				if inc.Layers[li] != golden.Layers[li] {
+					t.Errorf("%s: start %d: layer %d must alias the golden record", name, s, li)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivDivergesFromMatchesL1 pins the early-exit detector to the
+// full-record L1 criterion on perturbed and unperturbed networks.
+func TestEquivDivergesFromMatchesL1(t *testing.T) {
+	for name, net := range fixtureNets(t) {
+		stim := fixtureStim(net, 10, 54)
+		golden := net.Run(stim)
+		sc := net.NewScratch()
+
+		// Unperturbed network: must never diverge from its own golden run.
+		if div, _ := sc.DivergesFrom(0, golden, stim); div {
+			t.Errorf("%s: healthy network diverged from its own golden record", name)
+		}
+		for s := 0; s < len(net.Layers); s++ {
+			faulty := net.Clone()
+			faulty.Layers[s].SetNeuronMode(0, NeuronDead)
+			want := tensor.L1Diff(faulty.Run(stim).Output(), golden.Output()) > 0
+			fsc := faulty.NewScratch()
+			div, steps := fsc.DivergesFrom(s, golden, stim)
+			if div != want {
+				t.Errorf("%s: start %d: DivergesFrom = %v, L1 criterion = %v", name, s, div, want)
+			}
+			if maxSteps := (len(net.Layers) - s) * golden.Steps; steps > maxSteps {
+				t.Errorf("%s: start %d: simulated %d layer-steps, cap %d", name, s, steps, maxSteps)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossStimuli catches stale-state bugs: one scratch
+// driven with different stimuli, step counts and start layers must always
+// match a fresh full run.
+func TestScratchReuseAcrossStimuli(t *testing.T) {
+	net := must(BuildSHD(rand.New(rand.NewSource(42)), ScaleTiny))
+	sc := net.NewScratch()
+	for i, steps := range []int{8, 14, 8, 5} {
+		stim := fixtureStim(net, steps, int64(60+i))
+		golden := net.Run(stim)
+		rec, _ := sc.RunFrom(0, nil, stim)
+		if !recordsEqual(golden, rec) {
+			t.Errorf("run %d (steps %d): scratch run differs from fresh run", i, steps)
+		}
+		rec, _ = sc.RunFrom(1, golden, stim)
+		if !tensor.Equal(golden.Output(), rec.Output(), 0) {
+			t.Errorf("run %d: unperturbed replay from layer 1 differs from golden", i)
+		}
+	}
+}
+
+func TestRecordReplayHelpers(t *testing.T) {
+	net := must(BuildSHD(rand.New(rand.NewSource(44)), ScaleTiny))
+	stim := fixtureStim(net, 6, 72)
+	rec := net.Run(stim)
+	if !rec.Matches(net, 6) {
+		t.Error("record must match the network it was recorded from")
+	}
+	if rec.Matches(net, 7) {
+		t.Error("record must not match a different step count")
+	}
+	other := must(BuildNMNIST(rand.New(rand.NewSource(45)), ScaleTiny))
+	if rec.Matches(other, 6) {
+		t.Error("record must not match a different architecture")
+	}
+	// ReplayInput(ℓ, t) is layer ℓ−1's output row at step t, by view.
+	in := rec.ReplayInput(1, 3)
+	if in.Len() != net.Layers[0].NumNeurons() {
+		t.Errorf("replay input length = %d, want %d", in.Len(), net.Layers[0].NumNeurons())
+	}
+	for i := 0; i < in.Len(); i++ {
+		if in.Data()[i] != rec.Layers[0].At(3, i) {
+			t.Fatalf("replay input element %d differs from recorded spike", i)
+		}
+	}
+}
+
+func TestRunFromValidation(t *testing.T) {
+	net := must(BuildSHD(rand.New(rand.NewSource(43)), ScaleTiny))
+	stim := fixtureStim(net, 6, 70)
+	golden := net.Run(stim)
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"start out of range", func() { net.RunFrom(len(net.Layers), golden, stim) }},
+		{"negative start", func() { net.RunFrom(-1, golden, stim) }},
+		{"nil golden", func() { net.RunFrom(1, nil, stim) }},
+		{"step mismatch", func() { net.RunFrom(1, golden, fixtureStim(net, 7, 71)) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}

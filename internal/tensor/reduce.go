@@ -96,6 +96,30 @@ func L1Diff(a, b *Tensor) float64 {
 	return s
 }
 
+// RowEqual reports whether row r of a and b is elementwise identical,
+// treating the first axis as rows. It lets step-major spike records be
+// compared one time step at a time — the early-exit hot path of the
+// incremental fault campaign — without materializing per-row tensors.
+func RowEqual(a, b *Tensor, r int) bool {
+	assertSameShape("RowEqual", a, b)
+	if len(a.shape) == 0 {
+		failf("RowEqual on rank-0 tensor")
+	}
+	rows := a.shape[0]
+	if r < 0 || r >= rows {
+		failf("RowEqual row %d out of range [0, %d)", r, rows)
+	}
+	w := len(a.data) / rows
+	ra := a.data[r*w : (r+1)*w]
+	rb := b.data[r*w : (r+1)*w]
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // CountNonZero returns the number of elements with |v| > eps.
 func CountNonZero(a *Tensor, eps float64) int {
 	n := 0

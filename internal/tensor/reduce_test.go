@@ -56,6 +56,34 @@ func TestNorms(t *testing.T) {
 	}
 }
 
+func TestRowEqual(t *testing.T) {
+	a := FromSlice([]float64{1, 0, 1, 1, 0, 0}, 3, 2)
+	b := FromSlice([]float64{1, 0, 0, 1, 0, 0}, 3, 2)
+	for r, want := range []bool{true, false, true} {
+		if got := RowEqual(a, b, r); got != want {
+			t.Errorf("RowEqual row %d = %v, want %v", r, got, want)
+		}
+	}
+	if !RowEqual(a, a, 1) {
+		t.Error("tensor must row-equal itself")
+	}
+	for _, bad := range []func(){
+		func() { RowEqual(a, b, 3) },
+		func() { RowEqual(a, b, -1) },
+		func() { RowEqual(a, vec(1, 2), 0) },
+		func() { RowEqual(Scalar(1), Scalar(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid RowEqual call")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
 func TestCountNonZero(t *testing.T) {
 	x := vec(0, 1e-12, 0.5, -2)
 	if n := CountNonZero(x, 1e-9); n != 2 {

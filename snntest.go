@@ -93,16 +93,35 @@ func GenerateTest(net *Network, cfg GenConfig) (*TestResult, error) { return cor
 // faults per synapse.
 func EnumerateFaults(net *Network) []Fault { return fault.Enumerate(net, fault.DefaultOptions()) }
 
+// CampaignOptions tunes a fault campaign (workers, progress reporting,
+// and the FullResim reference path that disables incremental replay).
+type CampaignOptions = fault.CampaignOptions
+
 // SimulateFaults runs a fault-simulation campaign of the given faults
-// against a test stimulus; workers ≤ 0 uses GOMAXPROCS.
+// against a test stimulus; workers ≤ 0 uses GOMAXPROCS. The campaign is
+// incremental: each faulty run replays the golden spike trace up to the
+// fault's layer, re-simulates only the layers above it, and stops at the
+// first output divergence; the result's LayerSteps/FullLayerSteps
+// counters report the work saved.
 func SimulateFaults(net *Network, faults []Fault, stimulus *Tensor, workers int) (*fault.SimResult, error) {
 	return fault.Simulate(net, faults, stimulus, workers, nil)
+}
+
+// SimulateFaultsWith is SimulateFaults with explicit campaign options.
+func SimulateFaultsWith(net *Network, faults []Fault, stimulus *Tensor, opts CampaignOptions) (*fault.SimResult, error) {
+	return fault.SimulateWith(net, faults, stimulus, opts)
 }
 
 // ClassifyFaults labels faults critical (top-1 flip on ≥ 1 sample) or
 // benign against the evaluation stimuli.
 func ClassifyFaults(net *Network, faults []Fault, samples []*Tensor, workers int) ([]bool, error) {
 	return fault.Classify(net, faults, samples, workers, nil)
+}
+
+// ClassifyFaultsWith is ClassifyFaults with explicit campaign options;
+// the returned result carries the simulated-layer-step counters.
+func ClassifyFaultsWith(net *Network, faults []Fault, samples []*Tensor, opts CampaignOptions) (*fault.ClassifyResult, error) {
+	return fault.ClassifyWith(net, faults, samples, opts)
 }
 
 // FaultCoverage tallies per-class coverage from detection and criticality

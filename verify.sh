@@ -12,5 +12,9 @@ go build ./...
 go vet ./...
 go run ./cmd/snnlint ./...
 go test -race ./...
+# Determinism/equivalence gate: the Equiv tests pin the incremental
+# golden-trace-replay campaign to the full re-simulation reference and
+# must survive repeated runs bit-identically.
+go test -run Equiv -count=2 ./...
 
 echo "verify.sh: all gates passed"
