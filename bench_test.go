@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/repro/snntest/internal/baseline"
 	"github.com/repro/snntest/internal/core"
@@ -389,6 +391,78 @@ func BenchmarkCampaignIncremental(b *testing.B) {
 			b.Fatal(err)
 		}
 		fmt.Printf("campaign layer-step counters written to %s\n\n", out)
+	})
+}
+
+// generateBenchRow is the BENCH_generate.json record comparing the
+// multi-restart engine at one worker versus four.
+type generateBenchRow struct {
+	Benchmark    string  `json:"benchmark"`
+	Restarts     int     `json:"restarts"`
+	Cores        int     `json:"cores"`
+	Workers1MS   float64 `json:"workers1_ms"`
+	Workers4MS   float64 `json:"workers4_ms"`
+	SpeedupX     float64 `json:"speedup_x"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// BenchmarkGenerateRestarts times the deterministic multi-restart
+// generation engine (Restarts=4) at Workers=4, then contrasts one
+// single-shot run at each worker count, asserts the stimuli are
+// bit-identical, and writes the honest wall-clock comparison to
+// BENCH_generate.json (override the path with BENCH_GENERATE_OUT).
+// Speedup tracks min(workers, cores): on a single-core runner the two
+// configurations cost the same and speedup_x ≈ 1.
+func BenchmarkGenerateRestarts(b *testing.B) {
+	p := pipelines(b)["nmnist"]
+	base := p.Opts.GenConfig
+	base.Seed = 17
+	base.TInMin = 8 // pin the chunk duration: time the restart engine, not calibration
+	base.Parallel = core.Parallel{Restarts: 4}
+	gen := func(workers int) (*core.Result, time.Duration) {
+		cfg := base
+		cfg.Parallel.Workers = workers
+		start := time.Now()
+		res := must(core.Generate(p.Net, cfg))
+		return res, time.Since(start)
+	}
+	var res4 *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res4, _ = gen(4)
+	}
+	b.StopTimer()
+	res1, t1 := gen(1)
+	_, t4 := gen(4)
+	if !tensor.Equal(res1.Stimulus, res4.Stimulus, 0) {
+		b.Fatal("Workers=4 stimulus differs from Workers=1 at Restarts=4")
+	}
+	speedup := float64(t1) / float64(t4)
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	printArtifact("generate-json", func() {
+		row := generateBenchRow{
+			Benchmark:    "nmnist",
+			Restarts:     base.Parallel.Restarts,
+			Cores:        runtime.GOMAXPROCS(0),
+			Workers1MS:   float64(t1.Microseconds()) / 1e3,
+			Workers4MS:   float64(t4.Microseconds()) / 1e3,
+			SpeedupX:     speedup,
+			BitIdentical: true,
+		}
+		out := os.Getenv("BENCH_GENERATE_OUT")
+		if out == "" {
+			out = "BENCH_generate.json"
+		}
+		data, err := json.MarshalIndent(row, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("restart-engine timing written to %s (speedup %.2fx on %d core(s))\n\n",
+			out, speedup, runtime.GOMAXPROCS(0))
 	})
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchreport [-scale tiny|small|full] [-seed N] [-workers N]
+//	benchreport [-scale tiny|small|full] [-seed N] [-workers N] [-epochs N]
 //	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
 //	            [-bench nmnist,ibm-gesture,shd] [-v] [-out report.txt]
 //
@@ -25,23 +25,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
-		seed      = flag.Int64("seed", 1, "random seed for every stochastic component")
-		workers   = flag.Int("workers", 0, "fault-campaign workers (0 = GOMAXPROCS)")
-		table     = flag.Int("table", 0, "render one table (1-4)")
-		fig       = flag.Int("fig", 0, "render one figure (7-9)")
-		ablations = flag.Bool("ablations", false, "run the ablation study")
-		all       = flag.Bool("all", false, "render every table, figure and ablation")
-		benchList = flag.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
-		verbose   = flag.Bool("v", false, "log pipeline progress")
-		outPath   = flag.String("out", "", "write the report to this file (default: stdout)")
+		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
+		seed      = fs.Int64("seed", 1, "random seed for every stochastic component")
+		workers   = fs.Int("workers", 0, "fault-campaign workers (0 = GOMAXPROCS)")
+		epochs    = fs.Int("epochs", 0, "training epochs (0 = scale default)")
+		table     = fs.Int("table", 0, "render one table (1-4)")
+		fig       = fs.Int("fig", 0, "render one figure (7-9)")
+		ablations = fs.Bool("ablations", false, "run the ablation study")
+		all       = fs.Bool("all", false, "render every table, figure and ablation")
+		benchList = fs.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
+		verbose   = fs.Bool("v", false, "log pipeline progress")
+		outPath   = fs.String("out", "", "write the report to this file (default: stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *table == 0 && *fig == 0 && !*ablations {
 		*all = true
@@ -49,8 +61,11 @@ func main() {
 
 	opts := experiments.ScaledOptions(scale, *seed)
 	opts.Workers = *workers
+	if *epochs > 0 {
+		opts.TrainEpochs = *epochs
+	}
 	if *verbose {
-		opts.Log = os.Stderr
+		opts.Log = stderr
 	}
 
 	var pipes []*experiments.Pipeline
@@ -61,24 +76,24 @@ func main() {
 		}
 		p, err := experiments.NewPipeline(name, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "%s: built and trained (%v, accuracy %.1f%%)\n",
+		fmt.Fprintf(stderr, "%s: built and trained (%v, accuracy %.1f%%)\n",
 			name, p.TrainTime.Round(1e6), 100*p.Accuracy)
 		pipes = append(pipes, p)
 	}
 	if len(pipes) == 0 {
-		fatal(fmt.Errorf("no benchmarks selected"))
+		return fmt.Errorf("no benchmarks selected")
 	}
-	out := io.Writer(os.Stdout)
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		out = f
@@ -90,7 +105,7 @@ func main() {
 			rows[i] = experiments.Table1(p)
 		}
 		if err := experiments.RenderTable1(out, rows); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *table == 2 {
@@ -98,11 +113,11 @@ func main() {
 		for i, p := range pipes {
 			rows[i], err = experiments.Table2(p)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if err := experiments.RenderTable2(out, rows); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *table == 3 {
@@ -110,52 +125,53 @@ func main() {
 		for i, p := range pipes {
 			rows[i], err = experiments.Table3(p)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if err := experiments.RenderTable3(out, rows); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *table == 4 {
 		rows, err := experiments.Table4(pickPipe(pipes, "nmnist"))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := experiments.RenderTable4(out, rows); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *fig == 7 {
 		if err := experiments.Fig7(out, pickPipe(pipes, "ibm-gesture"), 4); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *fig == 8 {
 		p := pickPipe(pipes, "ibm-gesture")
 		d, err := experiments.Fig8(p)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := experiments.RenderFig8(out, p, d); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *fig == 9 {
 		p := pickPipe(pipes, "ibm-gesture")
 		d, err := experiments.Fig9(p)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := experiments.RenderFig9(out, p, d, 10); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *all || *ablations {
 		if err := runAblations(out, pickPipe(pipes, "shd")); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // pickPipe returns the pipeline for the preferred benchmark, falling back
@@ -202,9 +218,4 @@ func parseScale(s string) (snn.ModelScale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchreport:", err)
-	os.Exit(1)
 }

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sync"
@@ -29,51 +30,62 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "shd", "benchmark: nmnist, ibm-gesture or shd")
-		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
-		stride    = flag.Int("stride", 1, "fault universe subsampling stride (1 = exhaustive)")
-		weights   = flag.String("weights", "", "load trained weights instead of training in-process")
-		extended  = flag.Bool("extended", false, "include timing-variation and bit-flip faults")
-		workers   = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
-		epochs    = flag.Int("epochs", 4, "in-process training epochs when -weights is absent")
-		seed      = flag.Int64("seed", 1, "random seed")
-		full      = flag.Bool("full", false, "disable incremental golden-trace replay (full re-simulation per fault)")
+		bench     = fs.String("bench", "shd", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
+		stride    = fs.Int("stride", 1, "fault universe subsampling stride (1 = exhaustive)")
+		weights   = fs.String("weights", "", "load trained weights instead of training in-process")
+		extended  = fs.Bool("extended", false, "include timing-variation and bit-flip faults")
+		workers   = fs.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+		epochs    = fs.Int("epochs", 4, "in-process training epochs when -weights is absent")
+		seed      = fs.Int64("seed", 1, "random seed")
+		full      = fs.Bool("full", false, "disable incremental golden-trace replay (full re-simulation per fault)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := snn.Build(*bench, rng, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	sampleSteps, err := snn.SampleSteps(*bench, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: 4, TestPerClass: 2,
 		Steps: sampleSteps, Seed: *seed + 1,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *weights != "" {
 		if err := net.LoadWeightsFile(*weights); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("loaded weights from %s\n", *weights)
+		fmt.Fprintf(stdout, "loaded weights from %s\n", *weights)
 	} else {
 		trainIn, trainLab := ds.Inputs("train")
 		if _, err := train.Train(net, trainIn, trainLab, train.Config{
 			Epochs: *epochs, LR: 0.03, Seed: *seed + 2,
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -82,7 +94,7 @@ func main() {
 		opts = fault.ExtendedOptions()
 	}
 	faults := fault.SampleUniverse(net, opts, *stride)
-	fmt.Printf("%s (%s): %d neurons, %d synapses; universe %d faults (stride %d → %d simulated)\n",
+	fmt.Fprintf(stdout, "%s (%s): %d neurons, %d synapses; universe %d faults (stride %d → %d simulated)\n",
 		net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses(),
 		fault.UniverseSize(net, opts), *stride, len(faults))
 
@@ -94,13 +106,13 @@ func main() {
 		FullResim: *full,
 		Progress: func(done int) {
 			progressMu.Lock()
-			fmt.Fprintf(os.Stderr, "\rclassified %d/%d", done, len(faults))
+			fmt.Fprintf(stderr, "\rclassified %d/%d", done, len(faults))
 			progressMu.Unlock()
 		},
 	})
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(stderr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 	critical := res.Critical
@@ -118,15 +130,16 @@ func main() {
 			bs++
 		}
 	}
-	fmt.Printf("\nFault simulation results (%d samples, %d steps each):\n", len(testIn), ds.SampleSteps)
-	fmt.Printf("  critical neuron faults:  %d\n", cn)
-	fmt.Printf("  benign neuron faults:    %d\n", bn)
-	fmt.Printf("  critical synapse faults: %d\n", cs)
-	fmt.Printf("  benign synapse faults:   %d\n", bs)
-	fmt.Printf("  campaign time:           %v (%.2f ms/fault)\n",
+	fmt.Fprintf(stdout, "\nFault simulation results (%d samples, %d steps each):\n", len(testIn), ds.SampleSteps)
+	fmt.Fprintf(stdout, "  critical neuron faults:  %d\n", cn)
+	fmt.Fprintf(stdout, "  benign neuron faults:    %d\n", bn)
+	fmt.Fprintf(stdout, "  critical synapse faults: %d\n", cs)
+	fmt.Fprintf(stdout, "  benign synapse faults:   %d\n", bs)
+	fmt.Fprintf(stdout, "  campaign time:           %v (%.2f ms/fault)\n",
 		elapsed.Round(time.Millisecond), float64(elapsed.Milliseconds())/float64(len(faults)))
-	fmt.Printf("  simulated layer-steps:   %d of %d full (%.2fx saved)\n",
+	fmt.Fprintf(stdout, "  simulated layer-steps:   %d of %d full (%.2fx saved)\n",
 		res.LayerSteps, res.FullLayerSteps, float64(res.FullLayerSteps)/float64(res.LayerSteps))
+	return nil
 }
 
 func parseScale(s string) (snn.ModelScale, error) {
@@ -140,9 +153,4 @@ func parseScale(s string) (snn.ModelScale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "faultsim:", err)
-	os.Exit(1)
 }

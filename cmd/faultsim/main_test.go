@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs a heavily strided campaign on the tiny SHD model and
+// checks the per-class report lines.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-bench", "shd", "-scale", "tiny", "-epochs", "1", "-stride", "50",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"universe",
+		"critical neuron faults:",
+		"benign synapse faults:",
+		"campaign time:",
+		"simulated layer-steps:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "bogus"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("want unknown-scale error, got %v", err)
+	}
+}
+
+func TestRunBadBenchmark(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "imagenet"}, &stdout, &stderr); err == nil {
+		t.Fatal("want unknown-benchmark error, got nil")
+	}
+}

@@ -18,52 +18,66 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/repro/snntest/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
-
-	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snnlint:", err)
 		os.Exit(2)
 	}
-	mod, err := lint.LoadModule(wd)
+	findings, err := run(os.Args[1:], wd, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snnlint:", err)
 		os.Exit(2)
 	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "snnlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// run executes the lint walk rooted at dir and returns the finding count;
+// a non-nil error signals a load/encode failure (exit code 2).
+func run(args []string, dir string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("snnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	mod, err := lint.LoadModule(dir)
+	if err != nil {
+		return 0, err
+	}
 	diags := lint.Run(mod, lint.All())
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, "snnlint:", err)
-			os.Exit(2)
+			return 0, err
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "snnlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
-	}
+	return len(diags), nil
 }

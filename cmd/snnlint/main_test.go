@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunList checks the -list mode names every registered analyzer.
+func TestRunList(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	n, err := run([]string{"-list"}, wd, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("list mode reported %d findings, want 0", n)
+	}
+	out := stdout.String()
+	for _, want := range []string{"determinism", "errchecklite", "goroutinejoin", "panicfree", "rawdata", "stdlibonly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing analyzer %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunModuleCleanJSON lints the enclosing module (the lint walk finds
+// the module root from any subdirectory) and requires zero findings, in
+// valid JSON form.
+func TestRunModuleCleanJSON(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	n, err := run([]string{"-json"}, wd, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if n != 0 || len(diags) != 0 {
+		t.Fatalf("module has %d lint finding(s):\n%s", n, stdout.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if _, err := run([]string{"-no-such-flag"}, ".", &stdout, &stderr); err == nil {
+		t.Fatal("want flag-parse error, got nil")
+	}
+}

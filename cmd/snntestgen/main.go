@@ -7,14 +7,21 @@
 // Usage:
 //
 //	snntestgen -bench nmnist [-scale tiny|small|full] [-seed N]
-//	           [-weights file.gob] [-steps1 N] [-max-iter N]
-//	           [-stride N] [-workers N] [-save-stimulus file.gob]
+//	           [-weights file.gob] [-epochs N] [-steps1 N] [-max-iter N]
+//	           [-restarts K] [-tinmin N] [-stride N] [-workers N]
+//	           [-save-stimulus file.gob]
+//
+// -restarts K enables the deterministic multi-restart generation engine:
+// every iteration optimizes K independently seeded candidate chunks on a
+// worker pool (-workers bounds it) and keeps the best. Results depend
+// only on -seed, never on the worker count.
 package main
 
 import (
 	"encoding/gob"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -29,50 +36,64 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "snntestgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("snntestgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
-		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
-		seed      = flag.Int64("seed", 1, "random seed")
-		weights   = flag.String("weights", "", "load trained weights instead of training in-process")
-		steps1    = flag.Int("steps1", 0, "stage-1 optimization steps (0 = scale default)")
-		maxIter   = flag.Int("max-iter", 0, "maximum generated chunks (0 = scale default)")
-		stride    = flag.Int("stride", 1, "fault universe stride for verification")
-		workers   = flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
-		save      = flag.String("save-stimulus", "", "write the stimulus tensor to this file (gob)")
+		bench     = fs.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
+		seed      = fs.Int64("seed", 1, "random seed")
+		weights   = fs.String("weights", "", "load trained weights instead of training in-process")
+		epochs    = fs.Int("epochs", 4, "in-process training epochs when -weights is absent")
+		steps1    = fs.Int("steps1", 0, "stage-1 optimization steps (0 = scale default)")
+		maxIter   = fs.Int("max-iter", 0, "maximum generated chunks (0 = scale default)")
+		restarts  = fs.Int("restarts", 1, "optimizer restarts per chunk (>1 enables the parallel engine)")
+		tinMin    = fs.Int("tinmin", 0, "pin the chunk duration T_in,min and skip calibration (0 = calibrate)")
+		stride    = fs.Int("stride", 1, "fault universe stride for verification")
+		workers   = fs.Int("workers", 0, "campaign and restart workers (0 = GOMAXPROCS)")
+		save      = fs.String("save-stimulus", "", "write the stimulus tensor to this file (gob)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := snn.Build(*bench, rng, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	sampleSteps, err := snn.SampleSteps(*bench, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: 4, TestPerClass: 2, Steps: sampleSteps, Seed: *seed + 1,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *weights != "" {
 		if err := net.LoadWeightsFile(*weights); err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		trainIn, trainLab := ds.Inputs("train")
-		fmt.Fprintln(os.Stderr, "training model…")
+		fmt.Fprintln(stderr, "training model…")
 		if _, err := train.Train(net, trainIn, trainLab, train.Config{
-			Epochs: 4, LR: 0.03, Seed: *seed + 2,
+			Epochs: *epochs, LR: 0.03, Seed: *seed + 2,
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -82,53 +103,68 @@ func main() {
 		cfg.Steps1 = 100
 	}
 	cfg.Seed = *seed + 3
-	cfg.Log = os.Stderr
+	cfg.Log = stderr
 	if *steps1 > 0 {
 		cfg.Steps1 = *steps1
 	}
 	if *maxIter > 0 {
 		cfg.MaxIterations = *maxIter
 	}
+	if *tinMin > 0 {
+		cfg.TInMin = *tinMin
+	}
+	cfg.Parallel = core.Parallel{Restarts: *restarts, Workers: *workers}
 
-	fmt.Fprintln(os.Stderr, "generating test stimulus…")
+	fmt.Fprintln(stderr, "generating test stimulus…")
 	res, err := core.Generate(net, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("test generation runtime: %v\n", res.Runtime.Round(time.Millisecond))
-	fmt.Printf("T_in,min: %d steps; chunks: %d\n", res.TInMin, len(res.Chunks))
-	fmt.Printf("test duration: %d steps = %.2f samples = %.3f s\n",
+	fmt.Fprintf(stdout, "test generation runtime: %v\n", res.Runtime.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "T_in,min: %d steps; chunks: %d\n", res.TInMin, len(res.Chunks))
+	fmt.Fprintf(stdout, "test duration: %d steps = %.2f samples = %.3f s\n",
 		res.TotalSteps(), res.DurationSamples(sampleSteps),
 		metrics.DurationSeconds(net, res.TotalSteps()))
-	fmt.Printf("activated neurons: %.2f%%\n", 100*res.ActivatedFraction)
+	fmt.Fprintf(stdout, "activated neurons: %.2f%%\n", 100*res.ActivatedFraction)
+	summary := metrics.SummarizeGeneration(res.Trace)
+	fmt.Fprintf(stdout, "generation: %d iterations, %d growths, %.1f new neurons/iteration\n",
+		summary.Iterations, summary.TotalGrowths, summary.MeanNewActivated)
+	if *restarts > 1 {
+		fmt.Fprintf(stdout, "restarts evaluated: %d; wins by restart index:", summary.RestartsRun)
+		for r := 0; r < *restarts; r++ {
+			fmt.Fprintf(stdout, " %d:%d", r, summary.WinnersByRestart[r])
+		}
+		fmt.Fprintln(stdout)
+	}
 
 	faults := fault.SampleUniverse(net, fault.DefaultOptions(), *stride)
-	fmt.Fprintf(os.Stderr, "verifying against %d faults…\n", len(faults))
+	fmt.Fprintf(stderr, "verifying against %d faults…\n", len(faults))
 	testIn, _ := ds.Inputs("test")
 	critical, err := fault.Classify(net, faults, testIn, *workers, nil)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sim, err := fault.Simulate(net, faults, res.Stimulus, *workers, nil)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cov, err := fault.Compute(faults, sim.Detected, critical)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("verification campaign: %v for %d faults\n", sim.Elapsed.Round(time.Millisecond), len(faults))
-	fmt.Printf("FC critical neuron faults:  %.2f%%\n", 100*cov.CriticalNeuron.FC())
-	fmt.Printf("FC critical synapse faults: %.2f%%\n", 100*cov.CriticalSynapse.FC())
-	fmt.Printf("FC benign neuron faults:    %.2f%%\n", 100*cov.BenignNeuron.FC())
-	fmt.Printf("FC benign synapse faults:   %.2f%%\n", 100*cov.BenignSynapse.FC())
+	fmt.Fprintf(stdout, "verification campaign: %v for %d faults\n", sim.Elapsed.Round(time.Millisecond), len(faults))
+	fmt.Fprintf(stdout, "FC critical neuron faults:  %.2f%%\n", 100*cov.CriticalNeuron.FC())
+	fmt.Fprintf(stdout, "FC critical synapse faults: %.2f%%\n", 100*cov.CriticalSynapse.FC())
+	fmt.Fprintf(stdout, "FC benign neuron faults:    %.2f%%\n", 100*cov.BenignNeuron.FC())
+	fmt.Fprintf(stdout, "FC benign synapse faults:   %.2f%%\n", 100*cov.BenignSynapse.FC())
 
 	if *save != "" {
 		if err := saveStimulus(*save, res.Stimulus); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("stimulus written to %s\n", *save)
+		fmt.Fprintf(stdout, "stimulus written to %s\n", *save)
 	}
+	return nil
 }
 
 // stimulusFile is the on-disk representation of a test stimulus.
@@ -160,9 +196,4 @@ func parseScale(s string) (snn.ModelScale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", s)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snntestgen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the full binary pipeline — build, train, generate,
+// verify — on a minimal budget and checks the headline report lines.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-bench", "nmnist", "-scale", "tiny", "-epochs", "1",
+		"-steps1", "8", "-max-iter", "1", "-restarts", "2",
+		"-tinmin", "6", "-stride", "50",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"T_in,min: 6 steps",
+		"activated neurons:",
+		"generation:",
+		"restarts evaluated:",
+		"FC critical neuron faults:",
+		"FC benign synapse faults:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "bogus"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("want unknown-scale error, got %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &stdout, &stderr); err == nil {
+		t.Fatal("want flag-parse error, got nil")
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -19,31 +20,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "snntrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("snntrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
-		scaleFlag = flag.String("scale", "tiny", "model scale: tiny, small or full")
-		epochs    = flag.Int("epochs", 5, "training epochs")
-		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
-		perClass  = flag.Int("per-class", 6, "training samples per class")
-		seed      = flag.Int64("seed", 1, "random seed")
-		out       = flag.String("out", "", "write trained weights to this file (gob)")
+		bench     = fs.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
+		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
+		epochs    = fs.Int("epochs", 5, "training epochs")
+		lr        = fs.Float64("lr", 0.01, "Adam learning rate")
+		perClass  = fs.Int("per-class", 6, "training samples per class")
+		seed      = fs.Int64("seed", 1, "random seed")
+		out       = fs.String("out", "", "write trained weights to this file (gob)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	net, err := snn.Build(*bench, rng, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s (%s): %d neurons, %d synapses\n", net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses())
+	fmt.Fprintf(stdout, "%s (%s): %d neurons, %d synapses\n", net.Name, *scaleFlag, net.NumNeurons(), net.NumSynapses())
 
 	sampleSteps, err := snn.SampleSteps(*bench, scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ds, err := dataset.ForBenchmark(net, dataset.Config{
 		TrainPerClass: *perClass,
@@ -52,25 +64,26 @@ func main() {
 		Seed:          *seed + 1,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	trainIn, trainLab := ds.Inputs("train")
 	testIn, testLab := ds.Inputs("test")
 
 	_, err = train.Train(net, trainIn, trainLab, train.Config{
-		Epochs: *epochs, LR: *lr, Seed: *seed + 2, Log: os.Stdout,
+		Epochs: *epochs, LR: *lr, Seed: *seed + 2, Log: stdout,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("test accuracy: %.2f%%\n", 100*train.Evaluate(net, testIn, testLab))
+	fmt.Fprintf(stdout, "test accuracy: %.2f%%\n", 100*train.Evaluate(net, testIn, testLab))
 
 	if *out != "" {
 		if err := net.SaveWeightsFile(*out); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("weights written to %s\n", *out)
+		fmt.Fprintf(stdout, "weights written to %s\n", *out)
 	}
+	return nil
 }
 
 func parseScale(s string) (snn.ModelScale, error) {
@@ -91,9 +104,4 @@ func max(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "snntrain:", err)
-	os.Exit(1)
 }

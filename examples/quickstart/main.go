@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -14,6 +15,13 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout io.Writer) error {
 	rng := rand.New(rand.NewSource(1))
 
 	// 1. Build a tiny NMNIST-style convolutional SNN (untrained weights
@@ -21,9 +29,9 @@ func main() {
 	//    trained pipeline).
 	net, err := snntest.BuildNMNIST(rng, snntest.ScaleTiny)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("network %q: %d neurons, %d synapses, input %v\n",
+	fmt.Fprintf(stdout, "network %q: %d neurons, %d synapses, input %v\n",
 		net.Name, net.NumNeurons(), net.NumSynapses(), net.InShape)
 
 	// 2. Illustrate the LIF dynamics (the paper's Fig. 1): drive the
@@ -33,7 +41,7 @@ func main() {
 		demo.Step(t).Fill(1)
 	}
 	rec := net.Run(demo)
-	fmt.Printf("conv neuron 0 spike train under constant drive: %v\n",
+	fmt.Fprintf(stdout, "conv neuron 0 spike train under constant drive: %v\n",
 		rec.NeuronTrain(0, 0).Data())
 
 	// 3. Generate the optimized test stimulus (Section IV). The reduced
@@ -42,9 +50,9 @@ func main() {
 	cfg.Seed = 2
 	res, err := snntest.GenerateTest(net, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("generated test: %d chunks, %d steps total, %.1f%% neurons activated, runtime %v\n",
+	fmt.Fprintf(stdout, "generated test: %d chunks, %d steps total, %.1f%% neurons activated, runtime %v\n",
 		len(res.Chunks), res.TotalSteps(), 100*res.ActivatedFraction, res.Runtime.Round(1e6))
 
 	// 4. One final fault-simulation campaign verifies the coverage
@@ -52,13 +60,9 @@ func main() {
 	faults := snntest.EnumerateFaults(net)
 	sim, err := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("fault universe: %d faults; detected: %d (FC = %.2f%%)\n",
+	fmt.Fprintf(stdout, "fault universe: %d faults; detected: %d (FC = %.2f%%)\n",
 		len(faults), sim.NumDetected(), 100*float64(sim.NumDetected())/float64(len(faults)))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "quickstart:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the full quickstart tour and checks each of its
+// four report lines, so the example cannot silently rot as the public
+// facade evolves.
+func TestRunSmoke(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(&stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"network \"nmnist\":",
+		"spike train under constant drive:",
+		"generated test:",
+		"fault universe:",
+		"FC = ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q; got:\n%s", want, out)
+		}
+	}
+}

@@ -14,6 +14,19 @@
 // Backward performs a topological sort from the root and runs the closures
 // in reverse order. Leaves created with Leaf accumulate gradients in
 // Grad; constants created with Const do not participate in backprop.
+//
+// # Goroutine safety
+//
+// The engine keeps no global state: a tape is nothing but the Node graph
+// reachable from a root, so goroutines working on disjoint graphs (their
+// own Leaf/Const nodes and the ops derived from them) never share memory
+// and need no synchronization. The one hazard is a shared *Node appearing
+// in graphs on different goroutines — most commonly a weight leaf handed
+// out by snn.Projection.ParamLeaves — because concurrent Backward calls
+// both accumulate into its Grad tensor. Callers that parallelize must give
+// each goroutine its own leaves (the multi-restart engine in internal/core
+// does this by cloning the network per restart); autograd itself does not
+// lock.
 package autograd
 
 import (

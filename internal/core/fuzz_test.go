@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// FuzzAssemble feeds arbitrary chunk-duration lists through the Eq. 7/8
+// assembly and asserts its structural invariants: total duration follows
+// Eq. 8, every chunk lands verbatim at its offset, the separators are
+// zero-filled and exactly as long as the chunk they follow, and binary
+// chunks yield a binary stimulus — all without panicking.
+func FuzzAssemble(f *testing.F) {
+	f.Add([]byte{3, 2, 4}, int64(1))
+	f.Add([]byte{1}, int64(0))
+	f.Add([]byte{}, int64(7))
+	f.Add([]byte{8, 8, 8, 8, 8, 8}, int64(-3))
+	f.Fuzz(func(t *testing.T, durs []byte, seed int64) {
+		net := smallNet(1)
+		frame := net.InputLen()
+		if len(durs) > 6 {
+			durs = durs[:6]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		chunks := make([]*tensor.Tensor, len(durs))
+		for ci, d := range durs {
+			steps := int(d%8) + 1
+			c := tensor.New(append([]int{steps}, net.InShape...)...)
+			for i := range c.Data() {
+				c.Data()[i] = float64(rng.Intn(2))
+			}
+			chunks[ci] = c
+		}
+
+		stim := Assemble(net, chunks)
+
+		if len(chunks) == 0 {
+			if stim.Dim(0) != 1 || tensor.Sum(stim) != 0 {
+				t.Fatal("empty assembly must be one zero step")
+			}
+			return
+		}
+		want := 0
+		for i, c := range chunks {
+			want += c.Dim(0)
+			if i < len(chunks)-1 {
+				want += c.Dim(0)
+			}
+		}
+		if stim.Dim(0) != want {
+			t.Fatalf("assembled %d steps, Eq. 8 gives %d", stim.Dim(0), want)
+		}
+		off := 0
+		for i, c := range chunks {
+			got := stim.RawRange(off*frame, c.Len())
+			for j, v := range c.Data() {
+				if got[j] != v {
+					t.Fatalf("chunk %d altered at element %d", i, j)
+				}
+			}
+			off += c.Dim(0)
+			if i < len(chunks)-1 {
+				sep := stim.RawRange(off*frame, c.Len())
+				for j, v := range sep {
+					if v != 0 {
+						t.Fatalf("separator after chunk %d non-zero at element %d", i, j)
+					}
+				}
+				off += c.Dim(0)
+			}
+		}
+		for _, v := range stim.Data() {
+			if v != 0 && v != 1 {
+				t.Fatal("binary chunks produced a non-binary stimulus")
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,13 @@ type IterationStats struct {
 	NewActivated   int
 	TotalActivated int
 	Stage1Loss     float64
+	// Restart is the index of the restart that won this iteration's
+	// multi-restart selection (0 on the serial path).
+	Restart int
+	// RestartsRun is the number of restarts actually evaluated this
+	// iteration (1 on the serial path; may be < Config.Parallel.Restarts
+	// when the run was cancelled mid-iteration).
+	RestartsRun int
 }
 
 // Result is the output of Generate: the assembled test stimulus and its
@@ -60,12 +68,29 @@ func (r *Result) DurationSamples(sampleSteps int) float64 {
 
 // Generate runs the full test-generation algorithm of Fig. 2 on the
 // fault-free network and returns the assembled stimulus. The network
-// model stays fixed throughout; only the input is optimized.
+// model stays fixed throughout; only the input is optimized. It is
+// GenerateContext under a background context.
 func Generate(net *snn.Network, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), net, cfg)
+}
+
+// GenerateContext is Generate with caller-controlled cancellation: the
+// paper's t_limit (Config.TimeLimit) is layered onto ctx as a deadline,
+// and both the outer chunk loop and every duration-growth loop observe
+// ctx instead of polling the wall clock. Cancellation is graceful — the
+// partial result generated so far is returned, never an error, exactly
+// like hitting t_limit.
+//
+// With Config.Parallel.Restarts > 1 each iteration runs its restarts on a
+// bounded worker pool; see Parallel for the determinism contract (results
+// depend only on the seed, never on the worker count).
+func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result, error) {
 	if net.HasFaultOverrides() {
 		return nil, fmt.Errorf("core: Generate requires a fault-free network, but %q carries fault overrides", net.Name)
 	}
 	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, cfg.TimeLimit)
+	defer cancel()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	offsets := net.LayerOffsets()
 	totalNeurons := net.NumNeurons()
@@ -73,7 +98,11 @@ func Generate(net *snn.Network, cfg Config) (*Result, error) {
 	tInMin := cfg.TInMin
 	if tInMin == 0 {
 		var err error
-		tInMin, err = CalibrateTInMin(net, &cfg, rng)
+		if cfg.Parallel.enabled() {
+			tInMin, err = CalibrateTInMinParallel(ctx, net, &cfg, rng.Int63())
+		} else {
+			tInMin, err = CalibrateTInMin(net, &cfg, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +116,7 @@ func Generate(net *snn.Network, cfg Config) (*Result, error) {
 	res := &Result{TInMin: tInMin, Activated: activated}
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		if len(activated) >= totalNeurons || time.Since(start) > cfg.TimeLimit {
+		if len(activated) >= totalNeurons || ctx.Err() != nil {
 			break
 		}
 		target := make(map[int]bool, totalNeurons-len(activated))
@@ -98,38 +127,35 @@ func Generate(net *snn.Network, cfg Config) (*Result, error) {
 		}
 		mask := TargetMask(net, target)
 
-		opt := newChunkOptimizer(net, &cfg, rng, tInMin)
-		beta := cfg.Beta
-		growths := 0
-		var best stageOutcome
-		for {
+		var winner restartOutcome
+		if cfg.Parallel.enabled() {
 			var err error
-			best, err = opt.runStage1(mask, tdMin, offsets)
+			winner, err = runRestarts(ctx, net, &cfg, rng.Int63(), tInMin, tdMin, mask, target, offsets)
 			if err != nil {
 				return nil, err
 			}
-			if newTargets(best.activated, target) > 0 || growths >= cfg.MaxGrowth {
-				break
+		} else {
+			// Serial legacy path: the single optimizer consumes the master
+			// RNG stream directly, reproducing historical outputs
+			// byte-for-byte.
+			opt := newChunkOptimizer(net, &cfg, rng, tInMin)
+			best, growths, err := runGrowthLoop(ctx, opt, &cfg, mask, tdMin, target, offsets)
+			if err != nil {
+				return nil, err
 			}
-			// No new target neuron activated: grow the input by β steps
-			// and repeat the stage; β doubles per growth (Section V-C).
-			opt.grow(beta)
-			beta *= 2
-			growths++
-			if time.Since(start) > cfg.TimeLimit {
-				break
-			}
+			winner = restartOutcome{opt: opt, best: best, growths: growths, run: 1}
 		}
-		if best.stim == nil {
+		if winner.best.stim == nil {
 			break
 		}
 		if !cfg.DisableStage2 {
 			var err error
-			best, err = opt.runStage2(best, offsets)
+			winner.best, err = winner.opt.runStage2(winner.best, offsets)
 			if err != nil {
 				return nil, err
 			}
 		}
+		best := winner.best
 
 		newCount := 0
 		for g := range best.activated {
@@ -142,14 +168,16 @@ func Generate(net *snn.Network, cfg Config) (*Result, error) {
 		res.Trace = append(res.Trace, IterationStats{
 			Iteration:      iter,
 			ChunkSteps:     best.stim.Dim(0),
-			Growths:        growths,
+			Growths:        winner.growths,
 			NewActivated:   newCount,
 			TotalActivated: len(activated),
 			Stage1Loss:     best.loss,
+			Restart:        winner.idx,
+			RestartsRun:    winner.run,
 		})
 		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "iteration %d: chunk %d steps, +%d neurons (%d/%d activated)\n",
-				iter, best.stim.Dim(0), newCount, len(activated), totalNeurons)
+			fmt.Fprintf(cfg.Log, "iteration %d: chunk %d steps, +%d neurons (%d/%d activated, restart %d/%d)\n",
+				iter, best.stim.Dim(0), newCount, len(activated), totalNeurons, winner.idx, winner.run)
 		}
 		if newCount == 0 || float64(newCount) < cfg.MinNewFraction*float64(totalNeurons) {
 			// The optimizer can no longer reach the remaining neurons at a
@@ -163,6 +191,35 @@ func Generate(net *snn.Network, cfg Config) (*Result, error) {
 	res.ActivatedFraction = float64(len(activated)) / float64(totalNeurons)
 	res.Runtime = time.Since(start)
 	return res, nil
+}
+
+// runGrowthLoop runs stage 1 and the β-doubling duration growth of
+// Section V-C on one optimizer until a new target neuron activates, the
+// growth budget is exhausted, or ctx is cancelled. It is shared between
+// the serial path and every parallel restart worker.
+func runGrowthLoop(ctx context.Context, opt *chunkOptimizer, cfg *Config, mask *LayerMask, tdMin float64, target map[int]bool, offsets []int) (stageOutcome, int, error) {
+	beta := cfg.Beta
+	growths := 0
+	var best stageOutcome
+	for {
+		var err error
+		best, err = opt.runStage1(mask, tdMin, offsets)
+		if err != nil {
+			return stageOutcome{}, growths, err
+		}
+		if newTargets(best.activated, target) > 0 || growths >= cfg.MaxGrowth {
+			break
+		}
+		// No new target neuron activated: grow the input by β steps
+		// and repeat the stage; β doubles per growth (Section V-C).
+		opt.grow(beta)
+		beta *= 2
+		growths++
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return best, growths, nil
 }
 
 // newTargets counts activated neurons belonging to the target set.
@@ -204,42 +261,80 @@ func Assemble(net *snn.Network, chunks []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// calibCandidate is the evaluation of one candidate duration during
+// T_in,min calibration.
+type calibCandidate struct {
+	minL1   float64
+	success bool // the optimized input made every output neuron fire
+}
+
+// calibrateCandidate optimizes min L1 alone for the candidate duration t
+// over the given step budget and reports whether full output firing was
+// reached, plus the lowest L1 visited. Forward divergence and backward
+// errors propagate like every other optimization path.
+func calibrateCandidate(net *snn.Network, cfg *Config, rng *rand.Rand, t, budget int) (calibCandidate, error) {
+	opt := newChunkOptimizer(net, cfg, rng, t)
+	lrSched := cfg.lrSchedule(budget)
+	tauSched := cfg.tauSchedule(budget)
+	c := calibCandidate{minL1: math.Inf(1)}
+	for s := 0; s < budget; s++ {
+		res, _, err := opt.forward(tauSched.At(s))
+		if err != nil {
+			return c, err
+		}
+		l1 := L1(res)
+		if l1.Value.Data()[0] == 0 {
+			c.success = true
+			c.minL1 = 0
+			return c, nil
+		}
+		if l1.Value.Data()[0] < c.minL1 {
+			c.minL1 = l1.Value.Data()[0]
+		}
+		opt.adam.ZeroGrad()
+		if err := ag.Backward(l1); err != nil {
+			return c, err
+		}
+		opt.adam.LR = lrSched.At(s)
+		opt.adam.Step()
+	}
+	return c, nil
+}
+
+// calibrationBudget returns the per-candidate optimization step budget.
+func calibrationBudget(cfg *Config) int {
+	budget := cfg.Steps1 / 2
+	if budget < 60 {
+		budget = 60
+	}
+	return budget
+}
+
+// maxCalibrationDuration caps the doubling search of T_in,min
+// calibration: candidate durations are 1, 2, 4, …, maxCalibrationDuration.
+const maxCalibrationDuration = 512
+
 // CalibrateTInMin finds the paper's T_in,min: the smallest input duration
 // for which optimizing min L1 alone makes every output neuron fire. It
 // starts from one step and doubles until the optimization succeeds; if no
 // duration fully succeeds within the cap, it returns the duration that
 // achieved the lowest L1 (preferring shorter on ties), leaving the rest
-// to the full stage-1 optimization with its larger budget.
+// to the full stage-1 optimization with its larger budget. This serial
+// form consumes the caller's RNG stream directly; see
+// CalibrateTInMinParallel for the concurrent, derived-stream variant.
 func CalibrateTInMin(net *snn.Network, cfg *Config, rng *rand.Rand) (int, error) {
-	budget := cfg.Steps1 / 2
-	if budget < 60 {
-		budget = 60
-	}
-	const maxDuration = 512
-	bestT, bestL1 := maxDuration, math.Inf(1)
-	for t := 1; t <= maxDuration; t *= 2 {
-		opt := newChunkOptimizer(net, cfg, rng, t)
-		lrSched := cfg.lrSchedule(budget)
-		tauSched := cfg.tauSchedule(budget)
-		minL1 := math.Inf(1)
-		for s := 0; s < budget; s++ {
-			res, _ := opt.forward(tauSched.At(s))
-			l1 := L1(res)
-			if l1.Value.Data()[0] == 0 {
-				return t, nil
-			}
-			if l1.Value.Data()[0] < minL1 {
-				minL1 = l1.Value.Data()[0]
-			}
-			opt.adam.ZeroGrad()
-			if err := ag.Backward(l1); err != nil {
-				return 0, err
-			}
-			opt.adam.LR = lrSched.At(s)
-			opt.adam.Step()
+	budget := calibrationBudget(cfg)
+	bestT, bestL1 := maxCalibrationDuration, math.Inf(1)
+	for t := 1; t <= maxCalibrationDuration; t *= 2 {
+		c, err := calibrateCandidate(net, cfg, rng, t, budget)
+		if err != nil {
+			return 0, err
 		}
-		if minL1 < bestL1 {
-			bestL1, bestT = minL1, t
+		if c.success {
+			return t, nil
+		}
+		if c.minL1 < bestL1 {
+			bestL1, bestT = c.minL1, t
 		}
 	}
 	return bestT, nil

@@ -152,7 +152,10 @@ func TestLossGradientsReachInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	cfg := TestConfig()
 	opt := newChunkOptimizer(net, &cfg, rng, 10)
-	res, _ := opt.forward(0.5)
+	res, _, err := opt.forward(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mask := FullMask(net)
 	losses := map[string]*ag.Node{
 		"L1": L1(res),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -14,6 +15,13 @@ import (
 // real-valued tensor I_real is pushed through Gumbel-Softmax and a
 // straight-through estimator to obtain a binary stimulus, the SNN runs
 // differentiably, and Adam adjusts I_real against the stage loss.
+//
+// A chunkOptimizer is confined to one goroutine. The multi-restart engine
+// gives every restart its own optimizer AND its own inference-mode network
+// clone: a trained network's projections carry shared autograd weight
+// leaves (snn.Projection.ParamLeaves), and concurrent Backward passes
+// through a shared leaf would race on its Grad tensor. Network.Clone
+// drops the leaves, making concurrent RunGraph calls race-free.
 type chunkOptimizer struct {
 	net   *snn.Network
 	cfg   *Config
@@ -64,14 +72,19 @@ func (o *chunkOptimizer) grow(extra int) {
 
 // forward builds the Gumbel-Softmax → STE → RunGraph pipeline for the
 // current logits at temperature tau and returns the graph result plus the
-// realized binary stimulus.
-func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor) {
+// realized binary stimulus. It fails if the relaxation has gone non-finite
+// (a diverged I_real under an aggressive learning rate), so every stage
+// loop propagates divergence as an error instead of optimizing on NaNs.
+func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor, error) {
 	if o.cfg.PlainSigmoid {
 		o.noise.Zero()
 	} else {
 		ag.LogisticNoise(o.noise, o.rng.Float64)
 	}
 	soft := ag.GumbelSigmoid(o.leaf, o.noise, tau)
+	if !soft.Value.AllFinite() {
+		return nil, nil, fmt.Errorf("core: optimizer diverged: non-finite relaxation values at temperature %g", tau)
+	}
 	stepNodes := make([]*ag.Node, o.steps)
 	stim := tensor.New(append([]int{o.steps}, o.net.InShape...)...)
 	for t := 0; t < o.steps; t++ {
@@ -79,7 +92,7 @@ func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor)
 		stepNodes[t] = frameNode
 		copy(stim.RawRange(t*o.frame, o.frame), frameNode.Value.Data())
 	}
-	return o.net.RunGraph(stepNodes), stim
+	return o.net.RunGraph(stepNodes), stim, nil
 }
 
 // stageOutcome is the best stimulus visited during one stage pass.
@@ -134,7 +147,10 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 	bestL1, bestNew := math.Inf(1), -1
 
 	for s := 0; s < steps; s++ {
-		res, stim := o.forward(tauSched.At(s))
+		res, stim, err := o.forward(tauSched.At(s))
+		if err != nil {
+			return stageOutcome{}, err
+		}
 		ls := o.stage1Losses(res, mask, tdMin)
 		if !haveAlpha {
 			alpha = alphas([4]float64{
@@ -199,7 +215,10 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 	ref := incumbent.output
 
 	for s := 0; s < steps; s++ {
-		res, stim := o.forward(tauSched.At(s))
+		res, stim, err := o.forward(tauSched.At(s))
+		if err != nil {
+			return stageOutcome{}, err
+		}
 		l5 := L5(res)
 		mismatch := OutputMismatch(res, ref)
 		total := ag.Add(l5, ag.Scale(mismatch, o.cfg.MismatchWeight))

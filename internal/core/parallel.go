@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/repro/snntest/internal/snn"
+)
+
+// runIndexed executes fn(0..n-1) on a pool of the given number of worker
+// goroutines and blocks until every index has been processed. Each fn call
+// must write only to its own index-addressed slot; the pool imposes no
+// ordering, so determinism comes from the slots, never from completion
+// order.
+func runIndexed(workers, n int, fn func(int)) {
+	if workers >= n {
+		workers = n
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// restartOutcome is the result of one restart of the multi-restart stage-1
+// engine: the optimizer that produced it (kept so the winner can continue
+// into stage 2), the best stage-1 outcome, and provenance for Trace.
+type restartOutcome struct {
+	opt     *chunkOptimizer
+	best    stageOutcome
+	growths int
+	idx     int // winning restart index
+	run     int // restarts actually evaluated
+}
+
+// runRestarts executes K = cfg.Parallel.Restarts independent stage-1
+// optimizations of the same target set and returns the winner. Restart r
+// draws every random number from rand.NewSource(iterSeed + r) and runs the
+// growth loop on its own inference-mode clone of net (chunkOptimizer
+// documents why sharing a trained net across goroutines would race).
+//
+// The winner is chosen by a fixed, index-ordered tie-break — lowest
+// stage-1 loss, then most newly activated target neurons, then lowest
+// restart index — so the result is a pure function of iterSeed regardless
+// of worker count or completion order. Restarts not yet started when ctx
+// is cancelled are skipped and excluded from the RestartsRun count.
+func runRestarts(ctx context.Context, net *snn.Network, cfg *Config, iterSeed int64, tInMin int, tdMin float64, mask *LayerMask, target map[int]bool, offsets []int) (restartOutcome, error) {
+	k := cfg.Parallel.restarts()
+	type slot struct {
+		opt     *chunkOptimizer
+		best    stageOutcome
+		growths int
+		done    bool
+		err     error
+	}
+	slots := make([]slot, k)
+	runIndexed(cfg.Parallel.workers(k), k, func(r int) {
+		if ctx.Err() != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(iterSeed + int64(r)))
+		opt := newChunkOptimizer(net.Clone(), cfg, rng, tInMin)
+		best, growths, err := runGrowthLoop(ctx, opt, cfg, mask, tdMin, target, offsets)
+		slots[r] = slot{opt: opt, best: best, growths: growths, done: true, err: err}
+	})
+
+	winner := restartOutcome{idx: -1}
+	bestLoss, bestNew := math.Inf(1), -1
+	for r := range slots {
+		s := &slots[r]
+		if !s.done {
+			continue
+		}
+		if s.err != nil {
+			return restartOutcome{}, s.err
+		}
+		winner.run++
+		n := newTargets(s.best.activated, target)
+		if s.best.loss < bestLoss || (s.best.loss == bestLoss && n > bestNew) {
+			bestLoss, bestNew = s.best.loss, n
+			winner.opt, winner.best, winner.growths, winner.idx = s.opt, s.best, s.growths, r
+		}
+	}
+	return winner, nil
+}
+
+// CalibrateTInMinParallel is the multi-restart engine's T_in,min
+// calibration: all candidate durations 1, 2, 4, …, maxCalibrationDuration
+// are optimized concurrently, candidate i seeded with calibSeed + i, and
+// the serial selection rule is applied afterwards — the shortest fully
+// successful duration, falling back to the duration with the lowest L1
+// (shortest on ties). Unlike CalibrateTInMin it never consumes the master
+// RNG stream, so the outcome depends only on calibSeed, not on worker
+// count or scheduling.
+func CalibrateTInMinParallel(ctx context.Context, net *snn.Network, cfg *Config, calibSeed int64) (int, error) {
+	budget := calibrationBudget(cfg)
+	n := 0
+	for t := 1; t <= maxCalibrationDuration; t *= 2 {
+		n++
+	}
+	type slot struct {
+		cand calibCandidate
+		done bool
+		err  error
+	}
+	slots := make([]slot, n)
+	runIndexed(cfg.Parallel.workers(n), n, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(calibSeed + int64(i)))
+		cand, err := calibrateCandidate(net.Clone(), cfg, rng, 1<<i, budget)
+		slots[i] = slot{cand: cand, done: true, err: err}
+	})
+
+	bestT, bestL1 := maxCalibrationDuration, math.Inf(1)
+	for i := range slots {
+		s := &slots[i]
+		if !s.done {
+			continue
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		if s.cand.success {
+			return 1 << i, nil
+		}
+		if s.cand.minL1 < bestL1 {
+			bestL1, bestT = s.cand.minL1, 1<<i
+		}
+	}
+	return bestT, nil
+}

@@ -178,10 +178,16 @@ func (p *Pipeline) Critical() ([]bool, error) {
 }
 
 // Generate runs the paper's test-generation algorithm, caching the result.
+// When the multi-restart engine is enabled and its worker bound is unset,
+// the pipeline's campaign worker count applies to generation too (results
+// are worker-count-invariant, so this only affects wall-clock time).
 func (p *Pipeline) Generate() (*core.Result, error) {
 	if p.gen == nil {
 		cfg := p.Opts.GenConfig
 		cfg.Log = p.Opts.Log
+		if cfg.Parallel.Workers == 0 {
+			cfg.Parallel.Workers = p.Opts.Workers
+		}
 		gen, err := core.Generate(p.Net, cfg)
 		if err != nil {
 			return nil, err

@@ -8,40 +8,83 @@ import (
 	"strings"
 )
 
-// ErrcheckLite flags call statements that silently discard an error
-// result in the binaries (cmd/...) and in internal/experiments — the
-// two places whose output IS the deliverable, so a swallowed write
-// error means a silently truncated table. Deliberate discards stay
-// available: deferred calls are skipped (the close-on-cleanup idiom),
-// `_ = f()` is an explicit marker, and package fmt is exempt
-// (terminal-print best effort).
+// ErrcheckLite flags silently discarded error results in the binaries
+// (cmd/...), in internal/experiments, and in internal/core — the places
+// whose output IS the deliverable (a swallowed write error means a
+// silently truncated table, a swallowed optimizer error a silently wrong
+// stimulus). Two discard forms are flagged: call statements that drop
+// every result, and mixed multi-assignments that keep some results while
+// blanking an error-typed one (`res, _ := f()`). Deliberate discards stay
+// available: deferred calls are skipped (the close-on-cleanup idiom), an
+// all-blank assignment like `_ = f()` is an explicit marker, and package
+// fmt is exempt (terminal-print best effort).
 var ErrcheckLite = &Analyzer{
 	Name: "errchecklite",
-	Doc:  "flags discarded error returns in cmd/ and internal/experiments",
+	Doc:  "flags discarded error returns in cmd/, internal/experiments and internal/core",
 	Run:  runErrcheckLite,
 }
 
 func runErrcheckLite(p *Pass) {
 	rel := strings.TrimPrefix(p.Path, p.Module.Path+"/")
-	if !strings.HasPrefix(rel, "cmd/") && rel != "internal/experiments" {
+	if !strings.HasPrefix(rel, "cmd/") && rel != "internal/experiments" && rel != "internal/core" {
 		return
 	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
-			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if returnsError(p, call) && !isFmtCall(p, call) {
-				p.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _ explicitly", exprString(p, call.Fun))
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if returnsError(p, call) && !isFmtCall(p, call) {
+					p.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _ explicitly", exprString(p, call.Fun))
+				}
+			case *ast.AssignStmt:
+				checkBlankErrorAssign(p, stmt)
 			}
 			return true
 		})
 	}
+}
+
+// checkBlankErrorAssign flags `res, _ := f()`-style assignments: the
+// statement keeps some results of a call while discarding an error-typed
+// one through the blank identifier. All-blank assignments are the
+// explicit-discard idiom and stay exempt.
+func checkBlankErrorAssign(p *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 || len(stmt.Lhs) < 2 {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok || isFmtCall(p, call) {
+		return
+	}
+	tuple, ok := p.Info.TypeOf(call).(*types.Tuple)
+	if !ok || tuple.Len() != len(stmt.Lhs) {
+		return
+	}
+	keepsAny := false
+	for _, lhs := range stmt.Lhs {
+		if !isBlank(lhs) {
+			keepsAny = true
+			break
+		}
+	}
+	if !keepsAny {
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+			p.Reportf(lhs.Pos(), "assignment blanks the error result of %s while keeping other results; handle it", exprString(p, call.Fun))
+		}
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
 }
 
 // returnsError reports whether the call's result type is or contains

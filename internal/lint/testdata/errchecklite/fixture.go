@@ -1,6 +1,8 @@
 // Golden fixture for the errchecklite analyzer: call statements in
-// cmd/ packages that discard an error result are flagged; explicit
-// `_ =` discards, deferred calls and package fmt are exempt.
+// cmd/ packages that discard an error result are flagged, as are mixed
+// multi-assignments that blank an error-typed result while keeping the
+// others; all-blank `_ =` discards, deferred calls and package fmt are
+// exempt.
 package main
 
 import (
@@ -18,11 +20,20 @@ func badDiscards(path string) {
 	pair()          // want "result of pair includes an error that is discarded"
 }
 
+func triple() (int, string, error) { return 0, "", nil }
+
+func badBlankAssigns() int {
+	n, _ := pair()      // want "assignment blanks the error result of pair while keeping other results"
+	m, _, _ := triple() // want "assignment blanks the error result of triple while keeping other results"
+	return n + m
+}
+
 func okHandled(path string) {
 	if err := work(); err != nil {
 		fmt.Println(err)
 	}
 	_ = os.Remove(path)
+	_, _ = pair() // all-blank: the explicit-discard idiom
 	fmt.Println("best-effort terminal print")
 	f, err := os.Open(path)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
@@ -150,6 +151,40 @@ func Percentile(values []float64, p float64) float64 {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// GenerationSummary aggregates a generation trace: how many chunks were
+// produced, how much duration growth was needed, and — under the
+// multi-restart engine — which restarts actually won, the provenance
+// Table III's runtime rows are read against.
+type GenerationSummary struct {
+	Iterations int
+	// TotalGrowths is the summed duration-growth count across iterations.
+	TotalGrowths int
+	// MeanNewActivated is the average newly activated neuron count per
+	// iteration (0 for an empty trace).
+	MeanNewActivated float64
+	// RestartsRun is the summed number of restarts evaluated.
+	RestartsRun int
+	// WinnersByRestart[r] counts iterations won by restart index r.
+	WinnersByRestart map[int]int
+}
+
+// SummarizeGeneration folds a per-iteration trace into a GenerationSummary.
+func SummarizeGeneration(trace []core.IterationStats) GenerationSummary {
+	s := GenerationSummary{WinnersByRestart: make(map[int]int)}
+	totalNew := 0
+	for _, it := range trace {
+		s.Iterations++
+		s.TotalGrowths += it.Growths
+		s.RestartsRun += it.RestartsRun
+		s.WinnersByRestart[it.Restart]++
+		totalNew += it.NewActivated
+	}
+	if s.Iterations > 0 {
+		s.MeanNewActivated = float64(totalNew) / float64(s.Iterations)
+	}
+	return s
 }
 
 // DurationSeconds converts simulation steps to seconds for a network's

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
@@ -136,5 +137,26 @@ func TestWilsonInterval(t *testing.T) {
 	lo, hi = WilsonInterval(100, 100)
 	if hi != 1 || lo < 0.9 {
 		t.Errorf("perfect coverage interval [%g,%g]", lo, hi)
+	}
+}
+
+func TestSummarizeGeneration(t *testing.T) {
+	if s := SummarizeGeneration(nil); s.Iterations != 0 || s.MeanNewActivated != 0 {
+		t.Errorf("empty trace summary = %+v", s)
+	}
+	trace := []core.IterationStats{
+		{Iteration: 0, Growths: 1, NewActivated: 10, Restart: 2, RestartsRun: 4},
+		{Iteration: 1, Growths: 0, NewActivated: 4, Restart: 0, RestartsRun: 4},
+		{Iteration: 2, Growths: 2, NewActivated: 1, Restart: 2, RestartsRun: 4},
+	}
+	s := SummarizeGeneration(trace)
+	if s.Iterations != 3 || s.TotalGrowths != 3 || s.RestartsRun != 12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanNewActivated != 5 {
+		t.Errorf("mean new activated = %g, want 5", s.MeanNewActivated)
+	}
+	if s.WinnersByRestart[2] != 2 || s.WinnersByRestart[0] != 1 {
+		t.Errorf("winners = %v", s.WinnersByRestart)
 	}
 }

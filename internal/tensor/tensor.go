@@ -200,7 +200,9 @@ func (t *Tensor) Step(i int) *Tensor {
 // backing slice. Callers that need a raw float64 window (copy targets,
 // kernel interop) use it instead of re-deriving offsets on Data().
 func (t *Tensor) RawRange(start, n int) []float64 {
-	if start < 0 || n < 0 || start+n > len(t.data) {
+	// n is compared against the remaining length rather than start+n
+	// against the total, so a huge start+n cannot overflow past the check.
+	if start < 0 || start > len(t.data) || n < 0 || n > len(t.data)-start {
 		failf("RawRange [%d, %d+%d) out of range for %d elements", start, start, n, len(t.data))
 	}
 	return t.data[start : start+n : start+n]

@@ -3,8 +3,9 @@
 #
 # Tier 1 (build + vet) must always pass; the snnlint suite enforces the
 # repo-specific invariants (see internal/lint and README.md), and the
-# race run exercises the campaign worker pools and the tensor
-# concurrency contract. Any non-zero exit fails the gate.
+# race run exercises the campaign worker pools, the multi-restart
+# generation engine, and the tensor/autograd concurrency contracts. Any
+# non-zero exit fails the gate.
 set -eu
 cd "$(dirname "$0")"
 
@@ -12,9 +13,15 @@ go build ./...
 go vet ./...
 go run ./cmd/snnlint ./...
 go test -race ./...
-# Determinism/equivalence gate: the Equiv tests pin the incremental
+# Gradient gate: finite-difference checks of every autograd op plus the
+# AST audit that fails when an op lacks a gradcheck case.
+go test -run GradCheck ./internal/autograd/
+# Determinism/equivalence gate: the Equiv tests pin (a) the incremental
 # golden-trace-replay campaign to the full re-simulation reference and
-# must survive repeated runs bit-identically.
+# (b) the parallel multi-restart generator to its serial output —
+# worker-count invariance, Restarts=1 legacy equivalence, and the
+# seed-pinned Generate→Compact→fault-classification pipeline golden —
+# and must survive repeated runs bit-identically.
 go test -run Equiv -count=2 ./...
 
 echo "verify.sh: all gates passed"
