@@ -5,11 +5,18 @@
 //
 //	benchreport [-scale tiny|small|full] [-seed N] [-workers N] [-epochs N]
 //	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
-//	            [-bench nmnist,ibm-gesture,shd] [-v] [-out report.txt]
+//	            [-bench nmnist,ibm-gesture,shd] [-v|-quiet] [-out report.txt]
+//	            [-obs] [-manifest BENCH_manifest.json] [-trace out.jsonl]
+//	            [-cpuprofile f] [-memprofile f]
 //
 // With no artifact flags, -all is implied. Tables I–III run on every
 // selected benchmark; Table IV and the figures follow the paper's choices
 // (Table IV on NMNIST, Figs. 7–9 on the IBM model).
+//
+// -obs enables the observability counters for the run and writes a run
+// manifest (git revision, configuration, counter totals) next to the
+// BENCH_*.json artifacts, so benchmark numbers stay attributable to the
+// exact run that produced them.
 package main
 
 import (
@@ -17,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/experiments"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 )
 
@@ -34,6 +43,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	var (
 		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
 		seed      = fs.Int64("seed", 1, "random seed for every stochastic component")
@@ -44,12 +55,23 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		ablations = fs.Bool("ablations", false, "run the ablation study")
 		all       = fs.Bool("all", false, "render every table, figure and ablation")
 		benchList = fs.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
-		verbose   = fs.Bool("v", false, "log pipeline progress")
 		outPath   = fs.String("out", "", "write the report to this file (default: stdout)")
+		obsMode   = fs.Bool("obs", false, "collect run counters and write a run manifest")
+		manifest  = fs.String("manifest", "BENCH_manifest.json", "manifest path for -obs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ocli.ForceEnable = ocli.ForceEnable || *obsMode
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -64,9 +86,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *epochs > 0 {
 		opts.TrainEpochs = *epochs
 	}
-	if *verbose {
-		opts.Log = stderr
-	}
+	opts.Log = log.Writer(obs.LevelDebug)
 
 	var pipes []*experiments.Pipeline
 	for _, name := range strings.Split(*benchList, ",") {
@@ -78,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "%s: built and trained (%v, accuracy %.1f%%)\n",
+		log.Infof("%s: built and trained (%v, accuracy %.1f%%)",
 			name, p.TrainTime.Round(1e6), 100*p.Accuracy)
 		pipes = append(pipes, p)
 	}
@@ -170,6 +190,19 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err := runAblations(out, pickPipe(pipes, "shd")); err != nil {
 			return err
 		}
+	}
+	if *obsMode {
+		m := obs.NewManifest(map[string]string{
+			"tool":       "benchreport",
+			"scale":      *scaleFlag,
+			"seed":       strconv.FormatInt(*seed, 10),
+			"workers":    strconv.Itoa(*workers),
+			"benchmarks": *benchList,
+		})
+		if err := obs.WriteManifest(*manifest, m); err != nil {
+			return err
+		}
+		log.Infof("run manifest written to %s", *manifest)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 //
 //	faultsim -bench shd [-scale tiny|small|full] [-stride N]
 //	         [-weights file.gob] [-extended] [-workers N] [-seed N] [-full]
+//	         [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
 //
 // By default the campaign is incremental: each faulty simulation replays
 // the golden spike trace up to the fault's layer and re-simulates only
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ import (
 
 	"github.com/repro/snntest/internal/dataset"
 	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/train"
 )
@@ -36,9 +39,11 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	var (
 		bench     = fs.String("bench", "shd", "benchmark: nmnist, ibm-gesture or shd")
 		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
@@ -53,6 +58,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
+	ctx, root := obs.Start(context.Background(), "faultsim")
+	defer root.End()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -82,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "loaded weights from %s\n", *weights)
 	} else {
 		trainIn, trainLab := ds.Inputs("train")
+		log.Infof("training model…")
 		if _, err := train.Train(net, trainIn, trainLab, train.Config{
 			Epochs: *epochs, LR: 0.03, Seed: *seed + 2,
 		}); err != nil {
@@ -100,17 +117,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	testIn, _ := ds.Inputs("test")
 	start := time.Now()
-	var progressMu sync.Mutex
-	res, err := fault.ClassifyWith(net, faults, testIn, fault.CampaignOptions{
-		Workers:   *workers,
-		FullResim: *full,
-		Progress: func(done int) {
+	var progress func(done int)
+	if log.Enabled(obs.LevelInfo) {
+		var progressMu sync.Mutex
+		progress = func(done int) {
 			progressMu.Lock()
 			fmt.Fprintf(stderr, "\rclassified %d/%d", done, len(faults))
 			progressMu.Unlock()
-		},
+		}
+	}
+	res, err := fault.ClassifyWith(net, faults, testIn, fault.CampaignOptions{
+		Workers:   *workers,
+		FullResim: *full,
+		Progress:  progress,
+		Context:   ctx,
 	})
-	fmt.Fprintln(stderr)
+	if progress != nil {
+		fmt.Fprintln(stderr)
+	}
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"github.com/repro/snntest/internal/lint"
+	"github.com/repro/snntest/internal/obs"
 )
 
 func main() {
@@ -48,9 +49,21 @@ func run(args []string, dir string, stdout, stderr io.Writer) (int, error) {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "log the lint walk to stderr")
+	quiet := fs.Bool("quiet", false, "suppress stderr narration")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
+	level := obs.LevelInfo
+	switch {
+	case *verbose && *quiet:
+		return 0, fmt.Errorf("-v and -quiet are mutually exclusive")
+	case *verbose:
+		level = obs.LevelDebug
+	case *quiet:
+		level = obs.LevelQuiet
+	}
+	log := obs.NewLogger(stderr, level)
 
 	if *list {
 		for _, a := range lint.All() {
@@ -63,7 +76,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	log.Debugf("loaded module at %s: %d packages", dir, len(mod.Pkgs))
 	diags := lint.Run(mod, lint.All())
+	log.Debugf("ran %d analyzers: %d finding(s)", len(lint.All()), len(diags))
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

@@ -10,14 +10,20 @@
 //	           [-weights file.gob] [-epochs N] [-steps1 N] [-max-iter N]
 //	           [-restarts K] [-tinmin N] [-stride N] [-workers N]
 //	           [-save-stimulus file.gob]
+//	           [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
 //
 // -restarts K enables the deterministic multi-restart generation engine:
 // every iteration optimizes K independently seeded candidate chunks on a
 // worker pool (-workers bounds it) and keeps the best. Results depend
 // only on -seed, never on the worker count.
+//
+// -trace records the run's observability stream (span tree + counters) as
+// JSON lines and prints an end-of-run summary; -v / -quiet tune the
+// stderr narration; -cpuprofile / -memprofile write pprof profiles.
 package main
 
 import (
+	"context"
 	"encoding/gob"
 	"flag"
 	"fmt"
@@ -30,6 +36,7 @@ import (
 	"github.com/repro/snntest/internal/dataset"
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/metrics"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 	"github.com/repro/snntest/internal/train"
@@ -42,9 +49,11 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("snntestgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	var (
 		bench     = fs.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
 		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
@@ -62,6 +71,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
+	ctx, root := obs.Start(context.Background(), "snntestgen")
+	defer root.End()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -89,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	} else {
 		trainIn, trainLab := ds.Inputs("train")
-		fmt.Fprintln(stderr, "training model…")
+		log.Infof("training model…")
 		if _, err := train.Train(net, trainIn, trainLab, train.Config{
 			Epochs: *epochs, LR: 0.03, Seed: *seed + 2,
 		}); err != nil {
@@ -103,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Steps1 = 100
 	}
 	cfg.Seed = *seed + 3
-	cfg.Log = stderr
+	cfg.Log = log.Writer(obs.LevelDebug)
 	if *steps1 > 0 {
 		cfg.Steps1 = *steps1
 	}
@@ -115,8 +135,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg.Parallel = core.Parallel{Restarts: *restarts, Workers: *workers}
 
-	fmt.Fprintln(stderr, "generating test stimulus…")
-	res, err := core.Generate(net, cfg)
+	log.Infof("generating test stimulus…")
+	res, err := core.GenerateContext(ctx, net, cfg)
 	if err != nil {
 		return err
 	}
@@ -138,13 +158,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	faults := fault.SampleUniverse(net, fault.DefaultOptions(), *stride)
-	fmt.Fprintf(stderr, "verifying against %d faults…\n", len(faults))
+	log.Infof("verifying against %d faults…", len(faults))
 	testIn, _ := ds.Inputs("test")
-	critical, err := fault.Classify(net, faults, testIn, *workers, nil)
+	cls, err := fault.ClassifyWith(net, faults, testIn, fault.CampaignOptions{
+		Workers: *workers, Context: ctx,
+	})
 	if err != nil {
 		return err
 	}
-	sim, err := fault.Simulate(net, faults, res.Stimulus, *workers, nil)
+	critical := cls.Critical
+	sim, err := fault.SimulateWith(net, faults, res.Stimulus, fault.CampaignOptions{
+		Workers: *workers, Context: ctx,
+	})
 	if err != nil {
 		return err
 	}

@@ -5,9 +5,11 @@
 //
 //	snntrain -bench nmnist [-scale tiny|small|full] [-epochs N] [-lr F]
 //	         [-seed N] [-out weights.gob]
+//	         [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"github.com/repro/snntest/internal/dataset"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/train"
 )
@@ -26,9 +29,11 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("snntrain", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	var (
 		bench     = fs.String("bench", "nmnist", "benchmark: nmnist, ibm-gesture or shd")
 		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
@@ -41,6 +46,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
+	_, root := obs.Start(context.Background(), "snntrain")
+	defer root.End()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -69,8 +85,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	trainIn, trainLab := ds.Inputs("train")
 	testIn, testLab := ds.Inputs("test")
 
+	log.Infof("training %s for %d epochs…", net.Name, *epochs)
 	_, err = train.Train(net, trainIn, trainLab, train.Config{
-		Epochs: *epochs, LR: *lr, Seed: *seed + 2, Log: stdout,
+		Epochs: *epochs, LR: *lr, Seed: *seed + 2, Log: log.Writer(obs.LevelInfo),
 	})
 	if err != nil {
 		return err

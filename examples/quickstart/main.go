@@ -1,27 +1,52 @@
 // Quickstart: build a small spiking network, run the paper's test
-// generation, and verify the fault coverage of the optimized stimulus —
-// the minimal end-to-end tour of the public API.
+// generation, compact the result, and verify the fault coverage of the
+// optimized stimulus — the minimal end-to-end tour of the public API.
 //
 //	go run ./examples/quickstart
+//
+// Pass -trace trace.jsonl to record the run's observability stream
+// (span tree + counters), -v / -quiet to tune narration, and
+// -cpuprofile / -memprofile to capture pprof profiles.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
 	snntest "github.com/repro/snntest"
+	"github.com/repro/snntest/internal/obs"
 )
 
 func main() {
-	if err := run(os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stdout io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("quickstart", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
+	ctx, root := obs.Start(context.Background(), "quickstart")
+	defer root.End()
 	rng := rand.New(rand.NewSource(1))
 
 	// 1. Build a tiny NMNIST-style convolutional SNN (untrained weights
@@ -48,21 +73,35 @@ func run(stdout io.Writer) error {
 	//    budget keeps this run in the seconds range.
 	cfg := snntest.TestGenConfig()
 	cfg.Seed = 2
-	res, err := snntest.GenerateTest(net, cfg)
+	cfg.Log = log.Writer(obs.LevelDebug)
+	res, err := snntest.GenerateTestContext(ctx, net, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "generated test: %d chunks, %d steps total, %.1f%% neurons activated, runtime %v\n",
 		len(res.Chunks), res.TotalSteps(), 100*res.ActivatedFraction, res.Runtime.Round(1e6))
 
-	// 4. One final fault-simulation campaign verifies the coverage
-	//    (Eq. 3/4) — the only fault simulation in the whole flow.
+	// 4. Compact the test: drop chunks whose detected faults are covered
+	//    by the remaining chunks (coverage is preserved exactly).
 	faults := snntest.EnumerateFaults(net)
-	sim, err := snntest.SimulateFaults(net, faults, res.Stimulus, 0)
+	log.Debugf("fault universe enumerated: %d faults", len(faults))
+	res, cstats, err := snntest.CompactTestContext(ctx, net, res, faults, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "compacted test: %d -> %d chunks, %d -> %d steps\n",
+		cstats.ChunksBefore, cstats.ChunksAfter, cstats.StepsBefore, cstats.StepsAfter)
+
+	// 5. One final fault-simulation campaign verifies the coverage
+	//    (Eq. 3/4) — the only fault simulation in the whole flow.
+	sim, err := snntest.SimulateFaultsWith(net, faults, res.Stimulus,
+		snntest.CampaignOptions{Context: ctx})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "fault universe: %d faults; detected: %d (FC = %.2f%%)\n",
 		len(faults), sim.NumDetected(), 100*float64(sim.NumDetected())/float64(len(faults)))
+	fmt.Fprintf(stdout, "campaign work: %d of %d layer-steps simulated\n",
+		sim.LayerSteps, sim.FullLayerSteps)
 	return nil
 }

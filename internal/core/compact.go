@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 )
@@ -27,6 +29,20 @@ type CompactionStats struct {
 // reassembles the test. Coverage is preserved exactly with respect to
 // the given fault list.
 func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (*Result, CompactionStats, error) {
+	return CompactContext(context.Background(), net, res, faults, workers)
+}
+
+// CompactContext is Compact with a caller context. The context parents
+// the compaction's obs span (and the per-chunk fault campaigns beneath
+// it) so traces nest under the caller's tree; compaction itself is not
+// cancellable.
+func CompactContext(ctx context.Context, net *snn.Network, res *Result, faults []fault.Fault, workers int) (*Result, CompactionStats, error) {
+	ctx, sp := obs.Start(ctx, "compact")
+	defer sp.End()
+	sp.SetAttr("chunks_before", len(res.Chunks))
+	campaign := func(stim *tensor.Tensor) (*fault.SimResult, error) {
+		return fault.SimulateWith(net, faults, stim, fault.CampaignOptions{Workers: workers, Context: ctx})
+	}
 	stats := CompactionStats{
 		ChunksBefore: len(res.Chunks),
 		StepsBefore:  res.TotalSteps(),
@@ -34,7 +50,7 @@ func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (
 	if len(res.Chunks) <= 1 {
 		stats.ChunksAfter = len(res.Chunks)
 		stats.StepsAfter = res.TotalSteps()
-		sim, err := fault.Simulate(net, faults, res.Stimulus, workers, nil)
+		sim, err := campaign(res.Stimulus)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -45,7 +61,7 @@ func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (
 	// Per-chunk detection sets.
 	detects := make([][]bool, len(res.Chunks))
 	for i, c := range res.Chunks {
-		sim, err := fault.Simulate(net, faults, c, workers, nil)
+		sim, err := campaign(c)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -125,5 +141,6 @@ func Compact(net *snn.Network, res *Result, faults []fault.Fault, workers int) (
 	stats.ChunksAfter = len(kept)
 	stats.StepsAfter = out.TotalSteps()
 	stats.Detected = detected
+	sp.SetAttr("chunks_after", len(kept))
 	return out, stats, nil
 }

@@ -8,8 +8,17 @@ import (
 	"time"
 
 	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
+)
+
+// Generator-level counters; updated at most once per iteration so the
+// optimizer's inner loops never touch them.
+var (
+	obsIterations  = obs.NewCounter("core.iterations")
+	obsGrowths     = obs.NewCounter("core.growths")
+	obsRestartsRun = obs.NewCounter("core.restarts_run")
 )
 
 // IterationStats records one iteration of the outer loop (one generated
@@ -91,6 +100,10 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, cfg.TimeLimit)
 	defer cancel()
+	ctx, sp := obs.Start(ctx, "generate")
+	defer sp.End()
+	sp.SetAttr("network", net.Name)
+	sp.SetAttr("seed", cfg.Seed)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	offsets := net.LayerOffsets()
 	totalNeurons := net.NumNeurons()
@@ -98,11 +111,14 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 	tInMin := cfg.TInMin
 	if tInMin == 0 {
 		var err error
+		cctx, csp := obs.Start(ctx, "generate/calibrate")
 		if cfg.Parallel.enabled() {
-			tInMin, err = CalibrateTInMinParallel(ctx, net, &cfg, rng.Int63())
+			tInMin, err = CalibrateTInMinParallel(cctx, net, &cfg, rng.Int63())
 		} else {
 			tInMin, err = CalibrateTInMin(net, &cfg, rng)
 		}
+		csp.SetAttr("t_in_min", tInMin)
+		csp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -127,31 +143,46 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 		}
 		mask := TargetMask(net, target)
 
+		// The iteration span cannot use defer (it must close before the
+		// loop's next pass), so every exit below ends it explicitly.
+		ictx, isp := obs.Start(ctx, "generate/iteration")
+		isp.SetAttr("iteration", iter)
+
 		var winner restartOutcome
 		if cfg.Parallel.enabled() {
 			var err error
-			winner, err = runRestarts(ctx, net, &cfg, rng.Int63(), tInMin, tdMin, mask, target, offsets)
+			winner, err = runRestarts(ictx, net, &cfg, rng.Int63(), tInMin, tdMin, mask, target, offsets)
 			if err != nil {
+				isp.End()
 				return nil, err
 			}
 		} else {
 			// Serial legacy path: the single optimizer consumes the master
 			// RNG stream directly, reproducing historical outputs
 			// byte-for-byte.
+			rctx, rsp := obs.Start(ictx, "generate/restart")
+			rsp.SetAttr("restart", 0)
 			opt := newChunkOptimizer(net, &cfg, rng, tInMin)
-			best, growths, err := runGrowthLoop(ctx, opt, &cfg, mask, tdMin, target, offsets)
+			best, growths, err := runGrowthLoop(rctx, opt, &cfg, mask, tdMin, target, offsets)
+			rsp.SetAttr("growths", growths)
+			rsp.End()
 			if err != nil {
+				isp.End()
 				return nil, err
 			}
 			winner = restartOutcome{opt: opt, best: best, growths: growths, run: 1}
 		}
 		if winner.best.stim == nil {
+			isp.End()
 			break
 		}
 		if !cfg.DisableStage2 {
+			_, s2sp := obs.Start(ictx, "generate/stage2")
 			var err error
 			winner.best, err = winner.opt.runStage2(winner.best, offsets)
+			s2sp.End()
 			if err != nil {
+				isp.End()
 				return nil, err
 			}
 		}
@@ -175,6 +206,15 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 			Restart:        winner.idx,
 			RestartsRun:    winner.run,
 		})
+		if obs.On() {
+			obsIterations.Add(1)
+			obsGrowths.Add(int64(winner.growths))
+			obsRestartsRun.Add(int64(winner.run))
+			isp.SetAttr("chunk_steps", best.stim.Dim(0))
+			isp.SetAttr("new_activated", newCount)
+			isp.SetAttr("restart_won", winner.idx)
+		}
+		isp.End()
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "iteration %d: chunk %d steps, +%d neurons (%d/%d activated, restart %d/%d)\n",
 				iter, best.stim.Dim(0), newCount, len(activated), totalNeurons, winner.idx, winner.run)

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/obs"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// withObsRecorder turns the obs layer on for one test, backed by an
+// in-memory recorder, and restores the dark default afterwards.
+func withObsRecorder(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := &obs.Recorder{}
+	obs.SetSinks(rec)
+	obs.ResetCounters()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.SetSinks()
+		obs.ResetCounters()
+	})
+	return rec
+}
+
+// spanByName returns the single recorded span with the given name.
+func spanByName(t *testing.T, rec *obs.Recorder, name string) obs.Event {
+	t.Helper()
+	spans := rec.SpansNamed(name)
+	if len(spans) != 1 {
+		t.Fatalf("spans named %q = %d, want 1", name, len(spans))
+	}
+	return spans[0]
+}
+
+// TestObsGenerateSpanTree runs the serial generator under a recorder and
+// checks the span tree: calibrate, iterations, restarts and stage 2 all
+// nest under one generate root, and the counters reconcile with Trace.
+func TestObsGenerateSpanTree(t *testing.T) {
+	rec := withObsRecorder(t)
+	net := smallNet(21)
+	cfg := TestConfig()
+	cfg.Seed = 22
+	res := must(Generate(net, cfg))
+
+	root := spanByName(t, rec, "generate")
+	if root.Parent != 0 {
+		t.Errorf("generate span has parent %d, want root", root.Parent)
+	}
+	calib := spanByName(t, rec, "generate/calibrate")
+	if calib.Parent != root.ID {
+		t.Errorf("calibrate parent = %d, want generate id %d", calib.Parent, root.ID)
+	}
+
+	iters := rec.SpansNamed("generate/iteration")
+	if len(iters) != len(res.Trace) {
+		t.Fatalf("iteration spans = %d, want %d (one per Trace entry)", len(iters), len(res.Trace))
+	}
+	iterIDs := make(map[uint64]bool, len(iters))
+	for _, it := range iters {
+		if it.Parent != root.ID {
+			t.Errorf("iteration span parent = %d, want generate id %d", it.Parent, root.ID)
+		}
+		iterIDs[it.ID] = true
+	}
+	restarts := rec.SpansNamed("generate/restart")
+	if len(restarts) != len(res.Trace) {
+		t.Errorf("restart spans = %d, want %d (serial path: one per iteration)", len(restarts), len(res.Trace))
+	}
+	for _, r := range restarts {
+		if !iterIDs[r.Parent] {
+			t.Errorf("restart span parent %d is not an iteration span", r.Parent)
+		}
+	}
+	if got := len(rec.SpansNamed("generate/stage2")); got != len(res.Trace) {
+		t.Errorf("stage2 spans = %d, want %d", got, len(res.Trace))
+	}
+
+	snap := obs.Snapshot()
+	if snap["core.iterations"] != int64(len(res.Trace)) {
+		t.Errorf("core.iterations = %d, want %d", snap["core.iterations"], len(res.Trace))
+	}
+	wantRestarts := int64(0)
+	for _, tr := range res.Trace {
+		wantRestarts += int64(tr.RestartsRun)
+	}
+	if snap["core.restarts_run"] != wantRestarts {
+		t.Errorf("core.restarts_run = %d, want %d", snap["core.restarts_run"], wantRestarts)
+	}
+	if snap["snn.forward_passes"] == 0 {
+		t.Error("generator ran with zero recorded forward passes")
+	}
+}
+
+// TestObsParallelRestartSpans covers the multi-restart path: one restart
+// span per evaluated restart, parented under its iteration.
+func TestObsParallelRestartSpans(t *testing.T) {
+	rec := withObsRecorder(t)
+	net := smallNet(23)
+	cfg := TestConfig()
+	cfg.Seed = 24
+	cfg.Parallel.Restarts = 3
+	cfg.Parallel.Workers = 2
+	res := must(Generate(net, cfg))
+
+	wantRestarts := 0
+	for _, tr := range res.Trace {
+		wantRestarts += tr.RestartsRun
+	}
+	if got := len(rec.SpansNamed("generate/restart")); got != wantRestarts {
+		t.Errorf("restart spans = %d, want Σ RestartsRun = %d", got, wantRestarts)
+	}
+	if got := len(rec.SpansNamed("generate/calibrate/candidate")); got == 0 {
+		t.Error("parallel calibration emitted no candidate spans")
+	}
+}
+
+// TestObsGenerateBitIdentical is the zero-interference gate: the obs
+// layer (enabled with a live recorder) must not change the generated
+// stimulus by a single byte relative to a dark run.
+func TestObsGenerateBitIdentical(t *testing.T) {
+	net := smallNet(25)
+	cfg := TestConfig()
+	cfg.Seed = 26
+	dark := must(Generate(net.Clone(), cfg))
+
+	withObsRecorder(t)
+	lit := must(Generate(net.Clone(), cfg))
+
+	if !tensor.Equal(dark.Stimulus, lit.Stimulus, 0) {
+		t.Fatal("enabling obs changed the generated stimulus")
+	}
+	if len(dark.Trace) != len(lit.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(dark.Trace), len(lit.Trace))
+	}
+}
+
+// TestObsCompactSpanNestsCampaigns checks CompactContext: the compact
+// span parents the per-chunk fault campaigns.
+func TestObsCompactSpanNestsCampaigns(t *testing.T) {
+	rec := withObsRecorder(t)
+	net := smallNet(27)
+	cfg := TestConfig()
+	cfg.Seed = 28
+	res := must(Generate(net, cfg))
+	faults := fault.Enumerate(net, fault.DefaultOptions())
+
+	_, _, err := CompactContext(context.Background(), net, res, faults, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := spanByName(t, rec, "compact")
+	sims := rec.SpansNamed("campaign/simulate")
+	if len(sims) == 0 {
+		t.Fatal("compaction ran no fault campaigns")
+	}
+	for _, s := range sims {
+		if s.Parent != comp.ID {
+			t.Errorf("campaign span parent = %d, want compact id %d", s.Parent, comp.ID)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 )
 
@@ -72,9 +73,13 @@ func runRestarts(ctx context.Context, net *snn.Network, cfg *Config, iterSeed in
 		if ctx.Err() != nil {
 			return
 		}
+		rctx, rsp := obs.Start(ctx, "generate/restart")
+		rsp.SetAttr("restart", r)
 		rng := rand.New(rand.NewSource(iterSeed + int64(r)))
 		opt := newChunkOptimizer(net.Clone(), cfg, rng, tInMin)
-		best, growths, err := runGrowthLoop(ctx, opt, cfg, mask, tdMin, target, offsets)
+		best, growths, err := runGrowthLoop(rctx, opt, cfg, mask, tdMin, target, offsets)
+		rsp.SetAttr("growths", growths)
+		rsp.End()
 		slots[r] = slot{opt: opt, best: best, growths: growths, done: true, err: err}
 	})
 
@@ -122,8 +127,11 @@ func CalibrateTInMinParallel(ctx context.Context, net *snn.Network, cfg *Config,
 		if ctx.Err() != nil {
 			return
 		}
+		_, csp := obs.Start(ctx, "generate/calibrate/candidate")
+		csp.SetAttr("duration", 1<<i)
 		rng := rand.New(rand.NewSource(calibSeed + int64(i)))
 		cand, err := calibrateCandidate(net.Clone(), cfg, rng, 1<<i, budget)
+		csp.End()
 		slots[i] = slot{cand: cand, done: true, err: err}
 	})
 

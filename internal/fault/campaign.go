@@ -1,12 +1,14 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 )
@@ -18,14 +20,30 @@ type CampaignOptions struct {
 	// Progress, when non-nil, is called periodically with the number of
 	// completed faults. It runs outside every campaign lock and — with
 	// more than one worker — possibly from several goroutines at once,
-	// so it must be safe for concurrent use.
+	// so it must be safe for concurrent use. The terminal done == total
+	// call is guaranteed, exactly once, even for an empty fault list.
 	Progress func(done int)
 	// FullResim disables golden-trace replay and early exit, re-running
 	// the whole network from layer 0 over the full duration for every
 	// fault. It exists as the reference path: results are identical to
 	// the incremental default, only slower.
 	FullResim bool
+	// Context, when non-nil, parents the campaign's obs span so traces
+	// nest under the caller's tree. It is observability-only: campaigns
+	// do not watch it for cancellation.
+	Context context.Context
 }
+
+// Campaign-level counters, updated once per campaign (not per fault) so
+// the disabled obs layer costs nothing on the fault hot path.
+var (
+	obsCampaignLayerSteps = obs.NewCounter("fault.layer_steps")
+	obsCampaignFullSteps  = obs.NewCounter("fault.full_layer_steps")
+	obsFaultsSimulated    = obs.NewCounter("fault.simulated")
+	obsFaultsDetected     = obs.NewCounter("fault.detected")
+	obsFaultsClassified   = obs.NewCounter("fault.classified")
+	obsFaultsCritical     = obs.NewCounter("fault.critical")
+)
 
 // SimResult is the outcome of one fault-simulation campaign against a
 // test stimulus.
@@ -102,13 +120,84 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 	wg.Wait()
 }
 
-// reportProgress bumps the atomic completion counter and invokes the user
-// callback outside any lock, every stride completions and at the end.
-func reportProgress(done *atomic.Int64, total, stride int, progress func(int)) {
-	d := done.Add(1)
-	if progress != nil && (d%int64(stride) == 0 || int(d) == total) {
-		progress(int(d))
+// progressSink receives campaign completion updates. The user callback
+// and the obs trace stream are both sinks of the same reporter, so they
+// see identical update sequences.
+type progressSink interface {
+	report(done, total int)
+}
+
+// callbackSink adapts a CampaignOptions.Progress func.
+type callbackSink struct{ fn func(done int) }
+
+func (s callbackSink) report(done, _ int) { s.fn(done) }
+
+// obsSink forwards updates to the obs layer as progress events.
+type obsSink struct{ name string }
+
+func (s obsSink) report(done, total int) { obs.Progress(s.name, done, total) }
+
+// progressReporter fans completion counts out to its sinks every stride
+// completions. tick runs on worker goroutines outside every campaign
+// lock; finish — called after the workers join — guarantees exactly one
+// terminal done == total report, even when the fault list is empty or
+// total is not a stride multiple.
+type progressReporter struct {
+	done     atomic.Int64
+	terminal atomic.Bool
+	total    int
+	stride   int64
+	sinks    []progressSink
+}
+
+func newProgressReporter(total, stride int, opts CampaignOptions, name string) *progressReporter {
+	r := &progressReporter{total: total, stride: int64(stride)}
+	if opts.Progress != nil {
+		r.sinks = append(r.sinks, callbackSink{opts.Progress})
 	}
+	if obs.On() {
+		r.sinks = append(r.sinks, obsSink{name})
+	}
+	return r
+}
+
+// tick records one completed fault.
+func (r *progressReporter) tick() {
+	if len(r.sinks) == 0 {
+		return
+	}
+	d := r.done.Add(1)
+	if d%r.stride != 0 && int(d) != r.total {
+		return
+	}
+	if int(d) == r.total && !r.terminal.CompareAndSwap(false, true) {
+		return
+	}
+	r.emit(int(d))
+}
+
+// finish emits the terminal report unless a tick already did.
+func (r *progressReporter) finish() {
+	if len(r.sinks) == 0 || r.terminal.Swap(true) {
+		return
+	}
+	r.emit(r.total)
+}
+
+func (r *progressReporter) emit(done int) {
+	for _, s := range r.sinks {
+		s.report(done, r.total)
+	}
+}
+
+// span opens the campaign's obs span under the options' context.
+func (opts CampaignOptions) span(name string) *obs.Span {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, sp := obs.Start(ctx, name)
+	return sp
 }
 
 // Simulate runs the fault-simulation campaign: each fault is injected in
@@ -137,6 +226,9 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
+	sp := opts.span("campaign/simulate")
+	defer sp.End()
+	sp.SetAttr("faults", len(faults))
 	goldenRec := golden.Run(stimulus)
 	goldenOut := goldenRec.Output()
 	fullPerFault := int64(len(golden.Layers)) * int64(steps)
@@ -144,7 +236,8 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		Detected:       make([]bool, len(faults)),
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
-	var done, layerSteps atomic.Int64
+	rep := newProgressReporter(len(faults), 256, opts, "campaign/simulate")
+	var layerSteps atomic.Int64
 	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
 		f := faults[i]
 		revert := inj.Apply(f)
@@ -159,10 +252,19 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		revert()
 		res.Detected[i] = detected
 		layerSteps.Add(int64(ls))
-		reportProgress(&done, len(faults), 256, opts.Progress)
+		rep.tick()
 	})
+	rep.finish()
 	res.LayerSteps = layerSteps.Load()
 	res.Elapsed = time.Since(start)
+	if obs.On() {
+		obsFaultsSimulated.Add(int64(len(faults)))
+		obsFaultsDetected.Add(int64(res.NumDetected()))
+		obsCampaignLayerSteps.Add(res.LayerSteps)
+		obsCampaignFullSteps.Add(res.FullLayerSteps)
+		sp.SetAttr("detected", res.NumDetected())
+		sp.SetAttr("layer_steps", res.LayerSteps)
+	}
 	return res, nil
 }
 
@@ -194,6 +296,10 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
+	sp := opts.span("campaign/classify")
+	defer sp.End()
+	sp.SetAttr("faults", len(faults))
+	sp.SetAttr("samples", len(samples))
 	goldenRecs := make([]*snn.Record, len(samples))
 	goldenPred := make([]int, len(samples))
 	var fullPerFault int64
@@ -206,7 +312,8 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 		Critical:       make([]bool, len(faults)),
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
-	var done, layerSteps atomic.Int64
+	rep := newProgressReporter(len(faults), 64, opts, "campaign/classify")
+	var layerSteps atomic.Int64
 	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
 		f := faults[i]
 		startLayer := f.StartLayer()
@@ -231,10 +338,25 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 		}
 		revert()
 		layerSteps.Add(int64(ls))
-		reportProgress(&done, len(faults), 64, opts.Progress)
+		rep.tick()
 	})
+	rep.finish()
 	res.LayerSteps = layerSteps.Load()
 	res.Elapsed = time.Since(start)
+	if obs.On() {
+		critical := 0
+		for _, c := range res.Critical {
+			if c {
+				critical++
+			}
+		}
+		obsFaultsClassified.Add(int64(len(faults)))
+		obsFaultsCritical.Add(int64(critical))
+		obsCampaignLayerSteps.Add(res.LayerSteps)
+		obsCampaignFullSteps.Add(res.FullLayerSteps)
+		sp.SetAttr("critical", critical)
+		sp.SetAttr("layer_steps", res.LayerSteps)
+	}
 	return res, nil
 }
 

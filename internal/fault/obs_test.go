@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/repro/snntest/internal/obs"
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// withObsRecorder turns the obs layer on for one test, backed by an
+// in-memory recorder, and restores the dark default afterwards.
+func withObsRecorder(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := &obs.Recorder{}
+	obs.SetSinks(rec)
+	obs.ResetCounters()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.SetSinks()
+		obs.ResetCounters()
+	})
+	return rec
+}
+
+// progressLog records every Progress callback under a lock so the test
+// can inspect the full call sequence.
+type progressLog struct {
+	mu    sync.Mutex
+	calls []int
+}
+
+func (l *progressLog) fn(done int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.calls = append(l.calls, done)
+}
+
+func (l *progressLog) terminalCalls(total int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, c := range l.calls {
+		if c == total {
+			n++
+		}
+	}
+	return n
+}
+
+// TestProgressTerminalGuaranteed is the regression test for the progress
+// contract: every campaign reports done == total exactly once — including
+// an empty fault list (where no per-fault tick ever fires) and totals
+// that are not a multiple of the reporting stride.
+func TestProgressTerminalGuaranteed(t *testing.T) {
+	net := tinyNet(91)
+	stim := denseStim(92, net, 8)
+	samples := []*tensor.Tensor{denseStim(93, net, 6)}
+	universe := Enumerate(net, DefaultOptions())
+
+	for _, tc := range []struct {
+		name    string
+		nfaults int
+		workers int
+	}{
+		{"empty", 0, 1},
+		{"single", 1, 1},
+		{"non-stride-multiple", 7, 1},
+		{"parallel", len(universe), 4},
+	} {
+		t.Run("simulate/"+tc.name, func(t *testing.T) {
+			var log progressLog
+			_, err := SimulateWith(net, universe[:tc.nfaults], stim, CampaignOptions{
+				Workers:  tc.workers,
+				Progress: log.fn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := log.terminalCalls(tc.nfaults); got != 1 {
+				t.Errorf("terminal done==%d reported %d times, want exactly 1 (calls: %v)",
+					tc.nfaults, got, log.calls)
+			}
+		})
+		t.Run("classify/"+tc.name, func(t *testing.T) {
+			var log progressLog
+			_, err := ClassifyWith(net, universe[:tc.nfaults], samples, CampaignOptions{
+				Workers:  tc.workers,
+				Progress: log.fn,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := log.terminalCalls(tc.nfaults); got != 1 {
+				t.Errorf("terminal done==%d reported %d times, want exactly 1 (calls: %v)",
+					tc.nfaults, got, log.calls)
+			}
+		})
+	}
+}
+
+// TestObsCampaignCountersReconcile pins the obs counters to the campaign
+// results they mirror: after one simulate and one classify campaign the
+// counter deltas must equal the corresponding result fields exactly.
+func TestObsCampaignCountersReconcile(t *testing.T) {
+	rec := withObsRecorder(t)
+	net := tinyNet(94)
+	faults := Enumerate(net, DefaultOptions())
+	stim := denseStim(95, net, 10)
+	samples := []*tensor.Tensor{denseStim(96, net, 8)}
+
+	sim, err := SimulateWith(net, faults, stim, CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := ClassifyWith(net, faults, samples, CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	critical := 0
+	for _, c := range cls.Critical {
+		if c {
+			critical++
+		}
+	}
+	snap := obs.Snapshot()
+	want := map[string]int64{
+		"fault.simulated":        int64(len(faults)),
+		"fault.detected":         int64(sim.NumDetected()),
+		"fault.classified":       int64(len(faults)),
+		"fault.critical":         int64(critical),
+		"fault.layer_steps":      sim.LayerSteps + cls.LayerSteps,
+		"fault.full_layer_steps": sim.FullLayerSteps + cls.FullLayerSteps,
+	}
+	for name, w := range want {
+		if snap[name] != w {
+			t.Errorf("counter %s = %d, want %d", name, snap[name], w)
+		}
+	}
+
+	// The snn hot-path counters must cover at least the campaign work
+	// (golden runs add more, never less).
+	if snap["snn.layer_steps"] < want["fault.layer_steps"] {
+		t.Errorf("snn.layer_steps = %d < campaign layer-steps %d",
+			snap["snn.layer_steps"], want["fault.layer_steps"])
+	}
+	if snap["snn.forward_passes"] == 0 || snap["snn.spikes"] == 0 {
+		t.Errorf("snn counters dead: %v", snap)
+	}
+
+	if got := len(rec.SpansNamed("campaign/simulate")); got != 1 {
+		t.Errorf("campaign/simulate spans = %d, want 1", got)
+	}
+	if got := len(rec.SpansNamed("campaign/classify")); got != 1 {
+		t.Errorf("campaign/classify spans = %d, want 1", got)
+	}
+}
+
+// TestObsCampaignSpanParenting checks CampaignOptions.Context: a span
+// open in the caller's context becomes the campaign span's parent.
+func TestObsCampaignSpanParenting(t *testing.T) {
+	rec := withObsRecorder(t)
+	net := tinyNet(97)
+	faults := SampleUniverse(net, DefaultOptions(), 5)
+	stim := denseStim(98, net, 8)
+
+	ctx, root := obs.Start(context.Background(), "test-root")
+	if _, err := SimulateWith(net, faults, stim, CampaignOptions{Context: ctx}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := rec.SpansNamed("campaign/simulate")
+	if len(spans) != 1 {
+		t.Fatalf("campaign/simulate spans = %d, want 1", len(spans))
+	}
+	roots := rec.SpansNamed("test-root")
+	if len(roots) != 1 || spans[0].Parent != roots[0].ID {
+		t.Errorf("campaign span parent = %d, want root id %d", spans[0].Parent, roots[0].ID)
+	}
+
+	// The obs progress stream carries the same guaranteed terminal event.
+	var sawTerminal bool
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindProgress && e.Name == "campaign/simulate" &&
+			e.Done == len(faults) && e.Total == len(faults) {
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		t.Error("no terminal progress event for campaign/simulate")
+	}
+}

@@ -50,6 +50,7 @@ var goldenCases = []struct {
 	{Goroutinejoin, "github.com/repro/snntest/lintfixture/goroutinejoinfix", true},
 	{ErrcheckLite, "github.com/repro/snntest/cmd/lintfixture", true},
 	{StdlibOnly, "github.com/repro/snntest/lintfixture/stdlibonlyfix", false},
+	{Spanend, "github.com/repro/snntest/lintfixture/spanendfix", true},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

@@ -11,7 +11,9 @@
 //   - goroutinejoin: every go statement needs a visible join,
 //   - errchecklite: cmd/ and internal/experiments must not discard
 //     error returns,
-//   - stdlibonly: imports stay standard-library or module-internal.
+//   - stdlibonly: imports stay standard-library or module-internal,
+//   - spanend: every obs.Start span is ended or returned in its
+//     enclosing function (leaked spans corrupt trace trees).
 //
 // The cmd/snnlint CLI drives these over the whole module; verify.sh
 // wires them into the tier-1+ gate.
@@ -72,7 +74,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly}
+	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly, Spanend}
 }
 
 // Run applies the analyzers to every package of the module plus the

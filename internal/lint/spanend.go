@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Spanend flags obs.Start calls whose span is leaked: the span result is
+// discarded, bound to the blank identifier, or never reaches an End call
+// or a return statement in the enclosing function declaration. A leaked
+// span stays open forever, so the trace tree shows it as still running
+// and its duration is garbage. Both `defer sp.End()` and explicit
+// `sp.End()` calls on any path count (the generator's per-iteration span
+// must end before the loop's next pass, so it cannot defer), as does
+// returning the span to a caller that owns its lifetime (the campaign
+// span helper).
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs.Start spans that are never ended and never returned",
+	Run:  runSpanend,
+}
+
+const (
+	obsStartFunc   = "github.com/repro/snntest/internal/obs.Start"
+	obsSpanEndFunc = "(*github.com/repro/snntest/internal/obs.Span).End"
+)
+
+func runSpanend(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanEnds(p, fd)
+		}
+	}
+}
+
+// spanBinding is one obs.Start call site and the object its span result
+// was bound to (nil for the blank identifier).
+type spanBinding struct {
+	pos token.Pos
+	obj types.Object
+}
+
+func checkSpanEnds(p *Pass, fd *ast.FuncDecl) {
+	var bindings []spanBinding
+	bound := make(map[*ast.CallExpr]bool)      // obs.Start calls whose results are captured or returned
+	ended := make(map[types.Object]bool)       // objects with a .End() call, deferred or not
+	returnedObj := make(map[types.Object]bool) // objects appearing in a return statement
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			if len(e.Rhs) == 1 && len(e.Lhs) == 2 {
+				if call, ok := e.Rhs[0].(*ast.CallExpr); ok && isCallTo(p, call, obsStartFunc) {
+					bound[call] = true
+					bindings = append(bindings, spanBinding{call.Pos(), lhsObject(p, e.Lhs[1])})
+				}
+			}
+		case *ast.ValueSpec:
+			if len(e.Values) == 1 && len(e.Names) == 2 {
+				if call, ok := e.Values[0].(*ast.CallExpr); ok && isCallTo(p, call, obsStartFunc) {
+					bound[call] = true
+					bindings = append(bindings, spanBinding{call.Pos(), lhsObject(p, e.Names[1])})
+				}
+			}
+		case *ast.CallExpr:
+			if isCallTo(p, e, obsSpanEndFunc) {
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if obj := p.Info.Uses[id]; obj != nil {
+							ended[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				switch v := r.(type) {
+				case *ast.Ident:
+					if obj := p.Info.Uses[v]; obj != nil {
+						returnedObj[obj] = true
+					}
+				case *ast.CallExpr:
+					// `return obs.Start(...)` hands both results to the
+					// caller, which then owns the span's lifetime.
+					if isCallTo(p, v, obsStartFunc) {
+						bound[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Any obs.Start call not captured above has both results discarded.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !bound[call] && isCallTo(p, call, obsStartFunc) {
+			p.Reportf(call.Pos(), "obs.Start span in %s is discarded; bind it and call End, or return it", fd.Name.Name)
+		}
+		return true
+	})
+	for _, b := range bindings {
+		switch {
+		case b.obj == nil:
+			p.Reportf(b.pos, "obs.Start span in %s is bound to the blank identifier and can never be ended", fd.Name.Name)
+		case !ended[b.obj] && !returnedObj[b.obj]:
+			p.Reportf(b.pos, "obs.Start span %q in %s has no End call and is not returned", b.obj.Name(), fd.Name.Name)
+		}
+	}
+}
+
+// isCallTo reports whether call resolves to the package function or
+// method with the given types.Func full name.
+func isCallTo(p *Pass, call *ast.CallExpr, fullName string) bool {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	return ok && fn.FullName() == fullName
+}
+
+// lhsObject resolves an assignment left-hand side to its object; the
+// blank identifier (and non-identifier expressions) yield nil.
+func lhsObject(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}

@@ -1,0 +1,69 @@
+// Golden fixture for the spanend analyzer: an obs.Start span must reach
+// an End call (deferred or explicit, on any path) or a return statement
+// within its enclosing function declaration; discarded and blank-bound
+// spans are always flagged.
+package spanendfix
+
+import (
+	"context"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+func badLeaked(ctx context.Context) {
+	_, sp := obs.Start(ctx, "leaked") // want "has no End call and is not returned"
+	sp.SetAttr("k", 1)
+}
+
+func badBlank(ctx context.Context) context.Context {
+	ctx, _ = obs.Start(ctx, "blank") // want "bound to the blank identifier"
+	return ctx
+}
+
+func badDiscarded(ctx context.Context) {
+	obs.Start(ctx, "discarded") // want "is discarded"
+}
+
+func badOneOfTwo(ctx context.Context) {
+	_, a := obs.Start(ctx, "ended")
+	defer a.End()
+	_, b := obs.Start(ctx, "leaked") // want "has no End call and is not returned"
+	b.SetAttr("k", 2)
+}
+
+func okDeferEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, "deferred")
+	defer sp.End()
+}
+
+func okExplicitMultiPath(ctx context.Context, stop bool) {
+	for i := 0; i < 3; i++ {
+		// Per-iteration spans cannot defer: the span must close before
+		// the loop's next pass.
+		_, sp := obs.Start(ctx, "iteration")
+		if stop {
+			sp.End()
+			return
+		}
+		sp.End()
+	}
+}
+
+func okReturnedSpan(ctx context.Context) *obs.Span {
+	_, sp := obs.Start(ctx, "handed-off")
+	return sp
+}
+
+func okReturnedCall(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.Start(ctx, "handed-off-pair")
+}
+
+func okEndInClosure(ctx context.Context) {
+	_, sp := obs.Start(ctx, "worker")
+	done := make(chan struct{})
+	go func() {
+		sp.End()
+		close(done)
+	}()
+	<-done
+}

@@ -110,31 +110,50 @@ func OutputSpikeDiffs(net *snn.Network, faults []fault.Fault, stimulus *tensor.T
 
 // Histogram bins values into nbins equal-width bins over [0, max]; it
 // returns the bin counts and the bin width. Values beyond max land in the
-// last bin.
+// last bin, values below 0 in the first; NaN values are dropped. A
+// non-positive nbins or a non-positive, NaN or infinite max yields all
+// zero counts and width 0.
 func Histogram(values []float64, nbins int, max float64) (counts []int, width float64) {
+	if nbins < 0 {
+		nbins = 0
+	}
 	counts = make([]int, nbins)
-	if nbins == 0 || max <= 0 {
+	if nbins == 0 || max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) {
 		return counts, 0
 	}
 	width = max / float64(nbins)
 	for _, v := range values {
-		b := int(v / width)
-		if b >= nbins {
-			b = nbins - 1
-		}
-		if b < 0 {
+		// Bin edges are resolved with float comparisons before the int
+		// conversion: converting NaN or an out-of-range quotient to int is
+		// implementation-specific in Go, not merely wrong.
+		var b int
+		switch {
+		case math.IsNaN(v):
+			continue
+		case v <= 0:
 			b = 0
+		case v >= max:
+			b = nbins - 1
+		default:
+			b = int(v / width)
+			if b >= nbins {
+				b = nbins - 1
+			}
 		}
 		counts[b]++
 	}
 	return counts, width
 }
 
-// Percentile returns the p-quantile (0 ≤ p ≤ 1) of values using the
-// nearest-rank method; it returns 0 for empty input.
+// Percentile returns the p-quantile of values using the nearest-rank
+// method; p is clamped to [0, 1]. It returns 0 for empty input and NaN
+// for NaN p.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), values...)
 	// insertion sort: the inputs here are small distributions
@@ -142,6 +161,14 @@ func Percentile(values []float64, p float64) float64 {
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
+	}
+	// Clamp before the arithmetic: int(math.Ceil(±Inf)) is
+	// implementation-specific.
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
 	}
 	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if idx < 0 {

@@ -160,3 +160,76 @@ func TestSummarizeGeneration(t *testing.T) {
 		t.Errorf("winners = %v", s.WinnersByRestart)
 	}
 }
+
+// TestPercentileEdgeCases pins the contract at the boundaries: empty
+// input, out-of-range and NaN p, and single-element slices.
+func TestPercentileEdgeCases(t *testing.T) {
+	vals := []float64{5, 1, 3}
+	if p := Percentile(vals, -0.5); p != 1 {
+		t.Errorf("p<0 = %g, want min 1", p)
+	}
+	if p := Percentile(vals, 1.5); p != 5 {
+		t.Errorf("p>1 = %g, want max 5", p)
+	}
+	if p := Percentile(vals, math.Inf(-1)); p != 1 {
+		t.Errorf("p=-Inf = %g, want min 1", p)
+	}
+	if p := Percentile(vals, math.Inf(1)); p != 5 {
+		t.Errorf("p=+Inf = %g, want max 5", p)
+	}
+	if p := Percentile(vals, math.NaN()); !math.IsNaN(p) {
+		t.Errorf("p=NaN = %g, want NaN", p)
+	}
+	for _, p := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("single-element Percentile(p=%g) = %g, want 7", p, got)
+		}
+	}
+	if Percentile(nil, 0) != 0 || Percentile(nil, 1) != 0 {
+		t.Error("empty input must return 0 for every p")
+	}
+}
+
+// TestHistogramEdgeCases covers degenerate shapes: zero/negative max and
+// bins, all-equal values, negatives, and non-finite inputs.
+func TestHistogramEdgeCases(t *testing.T) {
+	// Zero max: all-zero counts, zero width — not a panic or NaN bins.
+	counts, width := Histogram([]float64{1, 2, 3}, 4, 0)
+	if width != 0 || len(counts) != 4 {
+		t.Fatalf("zero max: counts=%v width=%g", counts, width)
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Errorf("zero max bin %d = %d, want 0", i, c)
+		}
+	}
+	// Negative bins must not panic.
+	if c, w := Histogram([]float64{1}, -3, 10); len(c) != 0 || w != 0 {
+		t.Errorf("negative bins: counts=%v width=%g", c, w)
+	}
+	// NaN / Inf max behave like the degenerate max.
+	if c, w := Histogram([]float64{1}, 3, math.NaN()); w != 0 || c[0] != 0 {
+		t.Errorf("NaN max: counts=%v width=%g", c, w)
+	}
+	if c, w := Histogram([]float64{1}, 3, math.Inf(1)); w != 0 || c[0] != 0 {
+		t.Errorf("Inf max: counts=%v width=%g", c, w)
+	}
+	// All-equal values at the max boundary land in the last bin.
+	counts, width = Histogram([]float64{5, 5, 5}, 5, 5)
+	if width != 1 || counts[4] != 3 {
+		t.Errorf("all-equal at max: counts=%v width=%g", counts, width)
+	}
+	// Negative and non-finite values: negatives into bin 0, +Inf into the
+	// last bin, NaN dropped.
+	counts, _ = Histogram([]float64{-2, math.Inf(1), math.NaN(), 0.5}, 2, 2)
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("mixed pathological values: counts=%v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("NaN value not dropped: total=%d", total)
+	}
+}

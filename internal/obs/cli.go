@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+)
+
+// CLI bundles the observability flags every binary in this repo shares:
+//
+//	-v            debug-level logging
+//	-quiet        suppress status logging
+//	-trace FILE   JSONL span/counter trace
+//	-cpuprofile FILE, -memprofile FILE
+//
+// Register the flags on the binary's FlagSet, then call Start after
+// parsing; the returned stop function flushes profiles, emits the final
+// counter snapshot, prints the end-of-run span tree and resets the
+// global obs state so repeated in-process runs (tests) stay hermetic.
+type CLI struct {
+	Verbose    bool
+	Quiet      bool
+	Trace      string
+	CPUProfile string
+	MemProfile string
+	// ForceEnable turns the observability layer on even without -trace
+	// (counters accumulate; no trace sink). benchreport's -obs mode sets
+	// it so the run manifest's counter snapshot is populated.
+	ForceEnable bool
+}
+
+// Register installs the shared flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) status logging")
+	fs.BoolVar(&c.Quiet, "quiet", false, "suppress status logging")
+	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span/counter trace to this file")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Level resolves the flag pair into a log level.
+func (c *CLI) Level() LogLevel {
+	switch {
+	case c.Quiet:
+		return LevelQuiet
+	case c.Verbose:
+		return LevelDebug
+	default:
+		return LevelInfo
+	}
+}
+
+// Start validates the flags, builds the shared logger on stderr, and —
+// when -trace is set — enables the observability layer with a JSONL sink
+// plus an in-memory recorder for the final tree summary, and starts the
+// requested pprof profiles. The stop function is safe to defer on every
+// path (including flag errors, when it is a no-op).
+func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
+	if c.Verbose && c.Quiet {
+		return nil, nil, fmt.Errorf("obs: -v and -quiet are mutually exclusive")
+	}
+	log := NewLogger(stderr, c.Level())
+
+	var cleanups []func() error
+	stop := func() error {
+		var first error
+		// LIFO, mirroring defer semantics.
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			if err := cleanups[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		cleanups = nil
+		return first
+	}
+	fail := func(err error) (*Logger, func() error, error) {
+		// Best effort: release whatever was already set up.
+		_ = stop()
+		return nil, nil, err
+	}
+
+	if c.Trace != "" {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return fail(err)
+		}
+		jsonl := NewJSONLSink(f)
+		rec := &Recorder{}
+		SetSinks(jsonl, rec)
+		ResetCounters()
+		Enable()
+		cleanups = append(cleanups, func() error {
+			EmitCounterSnapshot()
+			snapshot := Snapshot()
+			Disable()
+			SetSinks()
+			ResetCounters()
+			if log.Enabled(LevelInfo) {
+				// Summary goes through the logger's writer so -quiet
+				// suppresses it alongside every other status line.
+				w := log.Writer(LevelInfo)
+				if err := WriteTree(w, rec.Events()); err != nil {
+					return err
+				}
+				if err := WriteCounterTable(w, snapshot); err != nil {
+					return err
+				}
+			}
+			if err := jsonl.Err(); err != nil {
+				_ = f.Close()
+				return fmt.Errorf("obs: trace write: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("obs: trace close: %w", err)
+			}
+			log.Infof("trace written to %s", c.Trace)
+			return nil
+		})
+	}
+	if c.Trace == "" && c.ForceEnable {
+		ResetCounters()
+		Enable()
+		cleanups = append(cleanups, func() error {
+			Disable()
+			ResetCounters()
+			return nil
+		})
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() error {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Infof("CPU profile written to %s", c.CPUProfile)
+			return nil
+		})
+	}
+	if c.MemProfile != "" {
+		path := c.MemProfile
+		cleanups = append(cleanups, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Infof("heap profile written to %s", path)
+			return nil
+		})
+	}
+	return log, stop, nil
+}
+
+// Manifest is the self-describing record benchreport's -obs mode writes
+// next to the BENCH_*.json artifacts: enough provenance (git revision,
+// configuration, counter values) to interpret a perf number months
+// later. Schema documented in DESIGN.md §6.
+type Manifest struct {
+	// GitRev is the current HEAD commit, or "unknown" outside a git
+	// checkout.
+	GitRev string `json:"git_rev"`
+	// Time is the manifest creation time (RFC 3339).
+	Time string `json:"time"`
+	// GoVersion is the toolchain that built/ran the binary.
+	GoVersion string `json:"go_version"`
+	// Config records the run configuration (flag values).
+	Config map[string]string `json:"config"`
+	// Counters is the observability counter snapshot at write time.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// NewManifest assembles a manifest from the current process state.
+func NewManifest(config map[string]string) Manifest {
+	return Manifest{
+		GitRev:    gitRev(),
+		Time:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Config:    config,
+		Counters:  Snapshot(),
+	}
+}
+
+// WriteManifest writes the manifest as indented JSON to path.
+func WriteManifest(path string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitRev returns the repository HEAD, best effort.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

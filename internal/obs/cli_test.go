@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIStartTraceLifecycle runs the full CLI wiring: trace + profiles
+// on, one span and one counter recorded, stop flushes everything and
+// restores the dark default.
+func TestCLIStartTraceLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	c := CLI{
+		Trace:      filepath.Join(dir, "trace.jsonl"),
+		CPUProfile: filepath.Join(dir, "cpu.pb"),
+		MemProfile: filepath.Join(dir, "mem.pb"),
+	}
+	var stderr bytes.Buffer
+	log, stop, err := c.Start(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !On() {
+		t.Fatal("-trace did not enable the layer")
+	}
+	log.Infof("working")
+	_, sp := Start(context.Background(), "unit")
+	NewCounter("obs_test.cli").Add(11)
+	sp.End()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if On() {
+		t.Error("stop left the layer enabled")
+	}
+	if got := NewCounter("obs_test.cli").Value(); got != 0 {
+		t.Errorf("stop left counter at %d", got)
+	}
+
+	data, err := os.ReadFile(c.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSpan, sawCounters bool
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case e.Kind == KindSpan && e.Name == "unit":
+			sawSpan = true
+		case e.Kind == KindCounters:
+			sawCounters = true
+			if e.Counters["obs_test.cli"] != 11 {
+				t.Errorf("snapshot counter = %d, want 11", e.Counters["obs_test.cli"])
+			}
+		}
+	}
+	if !sawSpan || !sawCounters {
+		t.Errorf("trace missing span(%v)/counters(%v):\n%s", sawSpan, sawCounters, data)
+	}
+
+	for _, p := range []string{c.CPUProfile, c.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "span summary:") || !strings.Contains(out, "unit") {
+		t.Errorf("stderr missing span summary:\n%s", out)
+	}
+	if !strings.Contains(out, "obs_test.cli") {
+		t.Errorf("stderr missing counter table:\n%s", out)
+	}
+}
+
+// TestCLIStartQuietSuppressesSummary keeps -quiet silent even with a
+// trace enabled.
+func TestCLIStartQuietSuppressesSummary(t *testing.T) {
+	c := CLI{Quiet: true, Trace: filepath.Join(t.TempDir(), "trace.jsonl")}
+	var stderr bytes.Buffer
+	_, stop, err := c.Start(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := Start(context.Background(), "unit")
+	sp.End()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-quiet run wrote to stderr:\n%s", stderr.String())
+	}
+}
+
+func TestCLIStartForceEnable(t *testing.T) {
+	c := CLI{ForceEnable: true, Quiet: true}
+	_, stop, err := c.Start(os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !On() {
+		t.Fatal("ForceEnable did not enable the layer")
+	}
+	NewCounter("obs_test.force").Add(1)
+	if Snapshot()["obs_test.force"] != 1 {
+		t.Error("counter not live under ForceEnable")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if On() {
+		t.Error("stop left the layer enabled")
+	}
+}
+
+func TestCLIStartBadTracePath(t *testing.T) {
+	c := CLI{Trace: filepath.Join(t.TempDir(), "missing-dir", "t.jsonl")}
+	if _, _, err := c.Start(os.Stderr); err == nil {
+		t.Fatal("want error for uncreatable trace file")
+	}
+	if On() {
+		t.Error("failed Start left the layer enabled")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	ResetCounters()
+	t.Cleanup(ResetCounters)
+	NewCounter("obs_test.manifest").Add(4)
+	m := NewManifest(map[string]string{"scale": "tiny", "seed": "7"})
+	if m.GitRev == "" || m.Time == "" || m.GoVersion == "" {
+		t.Fatalf("incomplete manifest %+v", m)
+	}
+	if m.Counters["obs_test.manifest"] != 4 {
+		t.Fatalf("manifest counters = %v", m.Counters)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, data)
+	}
+	if got.Config["scale"] != "tiny" || got.Counters["obs_test.manifest"] != 4 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}

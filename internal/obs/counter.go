@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a lock-free named metric. Add gives it counter semantics,
+// Set gauge semantics; both are single atomic operations, safe from any
+// number of goroutines. Hot paths guard updates behind On() so the
+// disabled layer costs one branch, never an atomic write:
+//
+//	if obs.On() {
+//		layerStepCounter.Add(int64(n))
+//	}
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Set stores an absolute value (gauge semantics).
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// registry is the global name → counter table. Registration happens at
+// package init time and from CLI setup, never on hot paths, so a plain
+// mutex-protected map is enough; reads of the counters themselves stay
+// lock-free through the returned handles.
+var registry struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounter registers (or retrieves) the counter with the given name.
+// It is idempotent: every caller asking for the same name shares one
+// counter, so packages can hold handles from var initializers without
+// coordinating.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]*Counter)
+	}
+	if c, ok := registry.m[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.m[name] = c
+	return c
+}
+
+// Snapshot returns a copy of every registered counter's current value.
+func Snapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.m))
+	for name, c := range registry.m {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// CounterNames returns the registered names in sorted order.
+func CounterNames() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetCounters zeroes every registered counter (handles stay valid).
+// Tests and CLI teardown use it to keep runs hermetic.
+func ResetCounters() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.m {
+		c.Set(0)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// LogLevel orders the shared CLI logging levels.
+type LogLevel int
+
+const (
+	// LevelQuiet suppresses status output (errors still print).
+	LevelQuiet LogLevel = iota
+	// LevelInfo is the default: one-line status messages.
+	LevelInfo
+	// LevelDebug adds per-iteration / per-phase detail (the -v flag).
+	LevelDebug
+)
+
+// Logger is the leveled stderr logger shared by every CLI, replacing the
+// scattered fmt.Fprintf status prints. A nil *Logger is a valid no-op
+// receiver, so libraries can accept one unconditionally. All methods are
+// safe for concurrent use.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level LogLevel
+}
+
+// NewLogger returns a logger writing to w at the given level.
+func NewLogger(w io.Writer, level LogLevel) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Enabled reports whether messages at the given level are emitted.
+func (l *Logger) Enabled(level LogLevel) bool {
+	if l == nil || l.w == nil {
+		return false
+	}
+	return l.level >= level
+}
+
+// logf writes one newline-terminated line if level is enabled.
+func (l *Logger) logf(level LogLevel, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	l.mu.Lock()
+	// Best-effort: a failing status write must not abort the run.
+	_, _ = io.WriteString(l.w, msg)
+	l.mu.Unlock()
+}
+
+// Infof logs a status line at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs a detail line at LevelDebug (-v).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Errorf logs an error line regardless of level (quiet only silences
+// status, never failures).
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.logf(l.level, format, args...) // l.level >= l.level always holds
+}
+
+// Writer returns an io.Writer that forwards writes as log output at the
+// given level, or nil when that level is disabled — the adapter for
+// libraries that take an optional `Log io.Writer` (core.Config.Log,
+// train.Config.Log): pass obs's writer and the nil case keeps their
+// logging off.
+func (l *Logger) Writer(level LogLevel) io.Writer {
+	if !l.Enabled(level) {
+		return nil
+	}
+	return &levelWriter{l: l, level: level}
+}
+
+// levelWriter adapts Logger to io.Writer.
+type levelWriter struct {
+	l     *Logger
+	level LogLevel
+}
+
+func (w *levelWriter) Write(p []byte) (int, error) {
+	w.l.logf(w.level, "%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

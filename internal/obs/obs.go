@@ -1,0 +1,206 @@
+// Package obs is the repo's stdlib-only observability layer: hierarchical
+// wall-clock spans, lock-free named counters, and pluggable event sinks
+// (a JSONL trace writer, an in-memory recorder for tests, and a
+// human-readable end-of-run tree summary), plus the leveled Logger every
+// CLI shares and the pprof/flag wiring of the CLI bundle.
+//
+// The layer is disabled by default and must stay invisible when off: the
+// paper's headline claim is a cost model, so the instrumented hot paths
+// (snn simulation, fault campaigns, the generation loop) guard every
+// probe behind the single-branch On() check and the golden bit-identity
+// suites run with the layer dark. Enable() flips one atomic; sinks are
+// registered with SetSinks/AddSink and receive completed-span, progress
+// and counter-snapshot events.
+//
+// Span taxonomy, counter names and the overhead-measurement protocol are
+// documented in DESIGN.md §6.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global switch. All instrumentation call sites check
+// On() first, so a disabled build pays one atomic load and one branch.
+var enabled atomic.Bool
+
+// Enable turns the observability layer on. Instrumented code starts
+// emitting spans to the registered sinks and bumping counters.
+func Enable() { enabled.Store(true) }
+
+// Disable turns the layer off again. Sinks and counters are left as they
+// are; see SetSinks and ResetCounters for cleanup.
+func Disable() { enabled.Store(false) }
+
+// On reports whether the layer is enabled — the hot-path guard.
+func On() bool { return enabled.Load() }
+
+// spanIDs allocates process-unique span identifiers.
+var spanIDs atomic.Uint64
+
+// spanKey carries the current span through a context for parenting.
+type spanKey struct{}
+
+// Span is one timed region of a run. Spans nest through contexts: a span
+// started from a context that carries another span records it as its
+// parent, which works across goroutines because contexts are immutable.
+// A Span belongs to the goroutine that started it until End; the nil
+// Span (returned when the layer is off) is a valid no-op receiver for
+// every method.
+type Span struct {
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time // wall clock + monotonic (time.Now semantics)
+	attrs  map[string]any
+}
+
+// Start begins a span named name under the span carried by ctx, if any,
+// and returns a derived context carrying the new span. When the layer is
+// disabled it returns ctx unchanged and a nil span whose methods all
+// no-op, so call sites need no second guard.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !On() {
+		return ctx, nil
+	}
+	sp := &Span{name: name, id: spanIDs.Add(1), start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		sp.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// SetAttr attaches a key/value attribute to the span; values should be
+// JSON-encodable (strings, numbers, bools). Attributes must be set by
+// the owning goroutine before End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span and emits it to the registered sinks. Duration
+// is measured on the monotonic clock; the start timestamp is wall-clock.
+// End on a nil span is a no-op, and calling it more than once emits the
+// span more than once (call sites pair every Start with exactly one End;
+// the spanend lint analyzer enforces the pairing statically).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	Emit(Event{
+		Kind:   KindSpan,
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.parent,
+		Start:  s.start,
+		DurUS:  time.Since(s.start).Microseconds(),
+		Attrs:  s.attrs,
+	})
+}
+
+// Name returns the span name ("" for the nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// EventKind discriminates the event stream.
+type EventKind string
+
+const (
+	// KindSpan is a completed span (emitted at End).
+	KindSpan EventKind = "span"
+	// KindProgress is a campaign progress update.
+	KindProgress EventKind = "progress"
+	// KindCounters is a snapshot of every registered counter.
+	KindCounters EventKind = "counters"
+)
+
+// Event is the unit every sink consumes. Exactly which fields are set
+// depends on Kind; the zero values are omitted from JSONL output.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Name   string    `json:"name,omitempty"`
+	ID     uint64    `json:"id,omitempty"`
+	Parent uint64    `json:"parent,omitempty"`
+	// Start is the event's wall-clock timestamp (a span's start time).
+	Start time.Time `json:"start"`
+	// DurUS is the span duration in microseconds (monotonic clock).
+	DurUS int64 `json:"dur_us,omitempty"`
+	// Done/Total carry progress updates.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Attrs are span attributes.
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Counters is the snapshot payload of a KindCounters event.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Sink consumes observability events. Emit may be called from multiple
+// goroutines at once; implementations must be safe for concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+var (
+	sinkMu sync.RWMutex
+	sinks  []Sink
+)
+
+// SetSinks replaces the registered sink set (nil/empty clears it).
+func SetSinks(s ...Sink) {
+	sinkMu.Lock()
+	sinks = append([]Sink(nil), s...)
+	sinkMu.Unlock()
+}
+
+// AddSink appends one sink to the registered set.
+func AddSink(s Sink) {
+	sinkMu.Lock()
+	sinks = append(sinks, s)
+	sinkMu.Unlock()
+}
+
+// Emit fans an event out to every registered sink. It is a no-op when
+// the layer is disabled, so instrumentation may call it unguarded on
+// cold paths.
+func Emit(e Event) {
+	if !On() {
+		return
+	}
+	sinkMu.RLock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+	sinkMu.RUnlock()
+}
+
+// Progress emits a KindProgress event — the obs-layer form of the old
+// ad-hoc campaign progress callbacks, which are now just one more sink
+// for these updates (see fault.CampaignOptions.Progress).
+func Progress(name string, done, total int) {
+	Emit(Event{Kind: KindProgress, Name: name, Done: done, Total: total, Start: time.Now()})
+}
+
+// EmitCounterSnapshot emits a KindCounters event holding the current
+// value of every registered counter; CLIs emit one right before closing
+// their trace so the JSONL artifact is self-contained.
+func EmitCounterSnapshot() {
+	Emit(Event{Kind: KindCounters, Start: time.Now(), Counters: Snapshot()})
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// JSONLSink writes every event as one JSON object per line — the
+// machine-readable trace artifact behind the CLIs' -trace flag. It is
+// safe for concurrent Emit; the first encode error is retained and all
+// later writes become no-ops (trace output must never fail a run).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a JSONL event writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Recorder retains every event in memory — the test sink, and the data
+// source for the end-of-run tree summary.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Spans returns the recorded span events, in emission (completion) order.
+func (r *Recorder) Spans() []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == KindSpan {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SpansNamed returns the recorded spans with the given name.
+func (r *Recorder) SpansNamed(name string) []Event {
+	var out []Event
+	for _, e := range r.Spans() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards everything recorded so far.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// WriteTree renders the span events as an indented tree sorted by start
+// time, each line showing the span name, duration and attributes — the
+// human-readable end-of-run summary. Orphan spans (parent never emitted,
+// e.g. when tracing was enabled mid-run) render as roots.
+func WriteTree(w io.Writer, events []Event) error {
+	byID := make(map[uint64]Event)
+	children := make(map[uint64][]uint64)
+	var roots []uint64
+	for _, e := range events {
+		if e.Kind != KindSpan {
+			continue
+		}
+		byID[e.ID] = e
+	}
+	for id, e := range byID {
+		if _, ok := byID[e.Parent]; e.Parent != 0 && ok {
+			children[e.Parent] = append(children[e.Parent], id)
+		} else {
+			roots = append(roots, id)
+		}
+	}
+	byStart := func(ids []uint64) {
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := byID[ids[i]], byID[ids[j]]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.ID < b.ID
+		})
+	}
+	byStart(roots)
+	for _, ids := range children {
+		byStart(ids)
+	}
+	if len(byID) == 0 {
+		_, err := fmt.Fprintln(w, "span summary: no spans recorded")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "span summary:"); err != nil {
+		return err
+	}
+	var walk func(id uint64, depth int) error
+	walk = func(id uint64, depth int) error {
+		e := byID[id]
+		if _, err := fmt.Fprintf(w, "  %s%-*s %9.3fms%s\n",
+			strings.Repeat("  ", depth), 36-2*depth, e.Name,
+			float64(e.DurUS)/1e3, formatAttrs(e.Attrs)); err != nil {
+			return err
+		}
+		for _, c := range children[id] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range roots {
+		if err := walk(id, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatAttrs renders span attributes as "  k=v" pairs in key order.
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s=%v", k, attrs[k])
+	}
+	return b.String()
+}
+
+// WriteCounterTable renders a counter snapshot as an aligned name/value
+// table in name order, skipping zero-valued counters.
+func WriteCounterTable(w io.Writer, snapshot map[string]int64) error {
+	names := make([]string, 0, len(snapshot))
+	width := 0
+	for name, v := range snapshot {
+		if v == 0 {
+			continue
+		}
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "  %-*s %d\n", width, name, snapshot[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

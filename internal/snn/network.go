@@ -4,7 +4,17 @@ import (
 	"fmt"
 
 	ag "github.com/repro/snntest/internal/autograd"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/tensor"
+)
+
+// Hot-path counters of the fast simulation loop. Every update is guarded
+// by a single obs.On() branch so the disabled (default) layer leaves the
+// simulator's cost model untouched; see DESIGN.md §6 for the taxonomy.
+var (
+	obsForwardPasses = obs.NewCounter("snn.forward_passes")
+	obsLayerSteps    = obs.NewCounter("snn.layer_steps")
+	obsSpikes        = obs.NewCounter("snn.spikes")
 )
 
 // Network is a feedforward stack of spiking layers (recurrent projections
@@ -267,10 +277,36 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 			in = tensor.FromSlice(out, st.outShape...)
 		}
 		if stopOnDiverge && !tensor.RowEqual(outRow, goldenRow, t) {
+			if obs.On() {
+				s.observe(rec, start, t+1, layerSteps)
+			}
 			return rec, layerSteps, true
 		}
 	}
+	if obs.On() {
+		s.observe(rec, start, steps, layerSteps)
+	}
 	return rec, layerSteps, false
+}
+
+// observe flushes one run's hot-path counters: a forward pass, the
+// simulated layer-steps, and the spikes emitted in the simulated region
+// (layers ≥ start over the first simSteps steps; replayed golden layers
+// below start are not re-counted). Callers gate it behind obs.On(), so
+// the disabled layer costs the simulation loop exactly one branch.
+func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int) {
+	obsForwardPasses.Add(1)
+	obsLayerSteps.Add(int64(layerSteps))
+	spikes := int64(0)
+	for li := start; li < len(s.net.Layers); li++ {
+		nn := s.net.Layers[li].NumNeurons()
+		for _, v := range rec.Layers[li].RawRange(0, simSteps*nn) {
+			if v != 0 {
+				spikes++
+			}
+		}
+	}
+	obsSpikes.Add(spikes)
 }
 
 // stepLayer advances one layer by one time step: cd is the synaptic

@@ -29,6 +29,7 @@
 package snntest
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/repro/snntest/internal/core"
@@ -88,6 +89,12 @@ func TestGenConfig() GenConfig { return core.TestConfig() }
 // network.
 func GenerateTest(net *Network, cfg GenConfig) (*TestResult, error) { return core.Generate(net, cfg) }
 
+// GenerateTestContext is GenerateTest with caller-controlled cancellation;
+// the context also parents the run's observability spans (internal/obs).
+func GenerateTestContext(ctx context.Context, net *Network, cfg GenConfig) (*TestResult, error) {
+	return core.GenerateContext(ctx, net, cfg)
+}
+
 // EnumerateFaults lists the paper's default fault universe: dead and
 // saturated faults per neuron; dead, positively and negatively saturated
 // faults per synapse.
@@ -135,4 +142,10 @@ func FaultCoverage(faults []Fault, detected, critical []bool) (fault.Coverage, e
 // while shortening the test (the paper's future-work direction).
 func CompactTest(net *Network, res *TestResult, faults []Fault, workers int) (*TestResult, core.CompactionStats, error) {
 	return core.Compact(net, res, faults, workers)
+}
+
+// CompactTestContext is CompactTest with a caller context that parents
+// the compaction's observability spans.
+func CompactTestContext(ctx context.Context, net *Network, res *TestResult, faults []Fault, workers int) (*TestResult, core.CompactionStats, error) {
+	return core.CompactContext(ctx, net, res, faults, workers)
 }

@@ -23,5 +23,13 @@ go test -run GradCheck ./internal/autograd/
 # seed-pinned Generate→Compact→fault-classification pipeline golden —
 # and must survive repeated runs bit-identically.
 go test -run Equiv -count=2 ./...
+# Observability gate: the obs layer must be race-clean (spans and
+# counters are hit from every campaign/generation worker), and the
+# quickstart trace tests assert that a -trace run emits parseable JSONL
+# covering calibrate → generate → compact → campaign with counters that
+# reconcile against the printed results, while leaving stdout
+# byte-identical to a dark run.
+go test -race ./internal/obs/
+go test -run 'TestRunTrace' ./examples/quickstart/
 
 echo "verify.sh: all gates passed"
