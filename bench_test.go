@@ -27,9 +27,25 @@ import (
 	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/experiments"
 	"github.com/repro/snntest/internal/fault"
+	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 )
+
+// appendTrajectory records one bench artifact's headline numbers in the
+// cumulative BENCH_trajectory.json history (BENCH_TRAJECTORY_OUT
+// overrides the path), keyed by git revision and timestamp.
+func appendTrajectory(b *testing.B, source string, metrics map[string]float64) {
+	b.Helper()
+	out := os.Getenv("BENCH_TRAJECTORY_OUT")
+	if out == "" {
+		out = "BENCH_trajectory.json"
+	}
+	if err := obs.AppendTrajectory(out, obs.NewTrajectoryRecord(source, metrics)); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("trajectory record (%s) appended to %s\n\n", source, out)
+}
 
 // benchOpts is the shared tiny-scale configuration of the bench harness.
 func benchOpts() experiments.Options {
@@ -391,6 +407,14 @@ func BenchmarkCampaignIncremental(b *testing.B) {
 			b.Fatal(err)
 		}
 		fmt.Printf("campaign layer-step counters written to %s\n\n", out)
+		metrics := map[string]float64{
+			"layerstep_x": float64(fullSteps) / float64(steps),
+		}
+		for _, row := range rows {
+			metrics[row.Benchmark+"_sim_savings_x"] = row.SimSavingsX
+			metrics[row.Benchmark+"_classify_savings_x"] = row.ClassifySavingsX
+		}
+		appendTrajectory(b, "bench:campaign", metrics)
 	})
 }
 
@@ -463,6 +487,12 @@ func BenchmarkGenerateRestarts(b *testing.B) {
 		}
 		fmt.Printf("restart-engine timing written to %s (speedup %.2fx on %d core(s))\n\n",
 			out, speedup, runtime.GOMAXPROCS(0))
+		appendTrajectory(b, "bench:generate", map[string]float64{
+			"workers1_ms": row.Workers1MS,
+			"workers4_ms": row.Workers4MS,
+			"speedup_x":   row.SpeedupX,
+			"cores":       float64(row.Cores),
+		})
 	})
 }
 

@@ -6,17 +6,20 @@
 //	benchreport [-scale tiny|small|full] [-seed N] [-workers N] [-epochs N]
 //	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
 //	            [-bench nmnist,ibm-gesture,shd] [-v|-quiet] [-out report.txt]
-//	            [-obs] [-manifest BENCH_manifest.json] [-trace out.jsonl]
-//	            [-cpuprofile f] [-memprofile f]
+//	            [-obs] [-manifest BENCH_manifest.json]
+//	            [-trajectory BENCH_trajectory.json] [-trace out.jsonl]
+//	            [-serve :9090] [-cpuprofile f] [-memprofile f]
 //
 // With no artifact flags, -all is implied. Tables I–III run on every
 // selected benchmark; Table IV and the figures follow the paper's choices
 // (Table IV on NMNIST, Figs. 7–9 on the IBM model).
 //
-// -obs enables the observability counters for the run and writes a run
+// -obs enables the observability counters for the run, writes a run
 // manifest (git revision, configuration, counter totals) next to the
-// BENCH_*.json artifacts, so benchmark numbers stay attributable to the
-// exact run that produced them.
+// BENCH_*.json artifacts, and appends the run to the cumulative
+// BENCH_trajectory.json history (-trajectory overrides the path), so
+// benchmark numbers stay attributable to the exact run that produced
+// them and comparable across revisions.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/experiments"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 	"github.com/repro/snntest/internal/snn"
 )
 
@@ -46,18 +50,19 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	var ocli obs.CLI
 	ocli.Register(fs)
 	var (
-		scaleFlag = fs.String("scale", "tiny", "model scale: tiny, small or full")
-		seed      = fs.Int64("seed", 1, "random seed for every stochastic component")
-		workers   = fs.Int("workers", 0, "fault-campaign workers (0 = GOMAXPROCS)")
-		epochs    = fs.Int("epochs", 0, "training epochs (0 = scale default)")
-		table     = fs.Int("table", 0, "render one table (1-4)")
-		fig       = fs.Int("fig", 0, "render one figure (7-9)")
-		ablations = fs.Bool("ablations", false, "run the ablation study")
-		all       = fs.Bool("all", false, "render every table, figure and ablation")
-		benchList = fs.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
-		outPath   = fs.String("out", "", "write the report to this file (default: stdout)")
-		obsMode   = fs.Bool("obs", false, "collect run counters and write a run manifest")
-		manifest  = fs.String("manifest", "BENCH_manifest.json", "manifest path for -obs")
+		scaleFlag  = fs.String("scale", "tiny", "model scale: tiny, small or full")
+		seed       = fs.Int64("seed", 1, "random seed for every stochastic component")
+		workers    = fs.Int("workers", 0, "fault-campaign workers (0 = GOMAXPROCS)")
+		epochs     = fs.Int("epochs", 0, "training epochs (0 = scale default)")
+		table      = fs.Int("table", 0, "render one table (1-4)")
+		fig        = fs.Int("fig", 0, "render one figure (7-9)")
+		ablations  = fs.Bool("ablations", false, "run the ablation study")
+		all        = fs.Bool("all", false, "render every table, figure and ablation")
+		benchList  = fs.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
+		outPath    = fs.String("out", "", "write the report to this file (default: stdout)")
+		obsMode    = fs.Bool("obs", false, "collect run counters and write a run manifest")
+		manifest   = fs.String("manifest", "BENCH_manifest.json", "manifest path for -obs")
+		trajectory = fs.String("trajectory", "BENCH_trajectory.json", "cumulative per-run trajectory path for -obs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,6 +208,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return err
 		}
 		log.Infof("run manifest written to %s", *manifest)
+
+		// Append this run to the cumulative bench trajectory so counter
+		// totals stay comparable across revisions, not just within one run.
+		metrics := make(map[string]float64, len(m.Counters))
+		for name, v := range m.Counters {
+			metrics[name] = float64(v)
+		}
+		if err := obs.AppendTrajectory(*trajectory, obs.NewTrajectoryRecord("benchreport", metrics)); err != nil {
+			return err
+		}
+		log.Infof("trajectory record appended to %s", *trajectory)
 	}
 	return nil
 }

@@ -7,7 +7,8 @@
 //
 //	faultsim -bench shd [-scale tiny|small|full] [-stride N]
 //	         [-weights file.gob] [-extended] [-workers N] [-seed N] [-full]
-//	         [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
+//	         [-v|-quiet] [-trace out.jsonl] [-serve :9090]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // By default the campaign is incremental: each faulty simulation replays
 // the golden spike trace up to the fault's layer and re-simulates only
@@ -28,6 +29,7 @@ import (
 	"github.com/repro/snntest/internal/dataset"
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/train"
 )
@@ -67,7 +69,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = serr
 		}
 	}()
-	ctx, root := obs.Start(context.Background(), "faultsim")
+	sctx, cancel := obs.SignalContext(context.Background())
+	defer cancel()
+	ctx, root := obs.Start(sctx, "faultsim")
 	defer root.End()
 
 	scale, err := parseScale(*scaleFlag)

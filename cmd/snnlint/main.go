@@ -11,7 +11,8 @@
 // The module is always analyzed as a whole (package patterns are
 // accepted for command-line symmetry with go vet but do not narrow the
 // walk). See internal/lint for the analyzers and README.md for how to
-// add one.
+// add one. snnlint shares the repo-wide observability flags (-v, -quiet,
+// -trace, -serve, -cpuprofile, -memprofile) with the other cmds.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"github.com/repro/snntest/internal/lint"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 )
 
 func main() {
@@ -44,26 +46,25 @@ func main() {
 
 // run executes the lint walk rooted at dir and returns the finding count;
 // a non-nil error signals a load/encode failure (exit code 2).
-func run(args []string, dir string, stdout, stderr io.Writer) (int, error) {
+func run(args []string, dir string, stdout, stderr io.Writer) (findings int, err error) {
 	fs := flag.NewFlagSet("snnlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ocli obs.CLI
+	ocli.Register(fs)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	verbose := fs.Bool("v", false, "log the lint walk to stderr")
-	quiet := fs.Bool("quiet", false, "suppress stderr narration")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	level := obs.LevelInfo
-	switch {
-	case *verbose && *quiet:
-		return 0, fmt.Errorf("-v and -quiet are mutually exclusive")
-	case *verbose:
-		level = obs.LevelDebug
-	case *quiet:
-		level = obs.LevelQuiet
+	log, stop, err := ocli.Start(stderr)
+	if err != nil {
+		return 0, err
 	}
-	log := obs.NewLogger(stderr, level)
+	defer func() {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}()
 
 	if *list {
 		for _, a := range lint.All() {

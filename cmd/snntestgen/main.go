@@ -10,7 +10,8 @@
 //	           [-weights file.gob] [-epochs N] [-steps1 N] [-max-iter N]
 //	           [-restarts K] [-tinmin N] [-stride N] [-workers N]
 //	           [-save-stimulus file.gob]
-//	           [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
+//	           [-v|-quiet] [-trace out.jsonl] [-serve :9090]
+//	           [-cpuprofile f] [-memprofile f]
 //
 // -restarts K enables the deterministic multi-restart generation engine:
 // every iteration optimizes K independently seeded candidate chunks on a
@@ -18,8 +19,11 @@
 // only on -seed, never on the worker count.
 //
 // -trace records the run's observability stream (span tree + counters) as
-// JSON lines and prints an end-of-run summary; -v / -quiet tune the
+// JSON lines and prints an end-of-run summary; -serve exposes the run
+// live over HTTP (/metrics, /runs, /debug/pprof); -v / -quiet tune the
 // stderr narration; -cpuprofile / -memprofile write pprof profiles.
+// SIGINT/SIGTERM cancel generation gracefully — the partial stimulus is
+// still verified and the trace flushed.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"github.com/repro/snntest/internal/fault"
 	"github.com/repro/snntest/internal/metrics"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/tensor"
 	"github.com/repro/snntest/internal/train"
@@ -80,7 +85,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = serr
 		}
 	}()
-	ctx, root := obs.Start(context.Background(), "snntestgen")
+	sctx, cancel := obs.SignalContext(context.Background())
+	defer cancel()
+	ctx, root := obs.Start(sctx, "snntestgen")
 	defer root.End()
 
 	scale, err := parseScale(*scaleFlag)

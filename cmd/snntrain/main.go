@@ -5,7 +5,8 @@
 //
 //	snntrain -bench nmnist [-scale tiny|small|full] [-epochs N] [-lr F]
 //	         [-seed N] [-out weights.gob]
-//	         [-v|-quiet] [-trace out.jsonl] [-cpuprofile f] [-memprofile f]
+//	         [-v|-quiet] [-trace out.jsonl] [-serve :9090]
+//	         [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"github.com/repro/snntest/internal/dataset"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 	"github.com/repro/snntest/internal/snn"
 	"github.com/repro/snntest/internal/train"
 )

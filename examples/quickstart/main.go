@@ -5,8 +5,11 @@
 //	go run ./examples/quickstart
 //
 // Pass -trace trace.jsonl to record the run's observability stream
-// (span tree + counters), -v / -quiet to tune narration, and
-// -cpuprofile / -memprofile to capture pprof profiles.
+// (span tree + counters), -serve :9090 to watch the run live
+// (/metrics, /runs, /debug/pprof), -v / -quiet to tune narration, and
+// -cpuprofile / -memprofile to capture pprof profiles. SIGINT/SIGTERM
+// cancel the run gracefully: the partial result is reported and the
+// trace is flushed intact.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	snntest "github.com/repro/snntest"
 	"github.com/repro/snntest/internal/obs"
+	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 )
 
 func main() {
@@ -45,7 +49,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = serr
 		}
 	}()
-	ctx, root := obs.Start(context.Background(), "quickstart")
+	sctx, cancel := obs.SignalContext(context.Background())
+	defer cancel()
+	ctx, root := obs.Start(sctx, "quickstart")
 	defer root.End()
 	rng := rand.New(rand.NewSource(1))
 

@@ -124,22 +124,22 @@ func TestRunTrace(t *testing.T) {
 		}
 		attrSum += int64(v)
 	}
-	if counters["fault.layer_steps"] != attrSum {
-		t.Errorf("fault.layer_steps counter = %d, span attrs sum to %d",
-			counters["fault.layer_steps"], attrSum)
+	if counters["fault_layer_steps_total"] != attrSum {
+		t.Errorf("fault_layer_steps_total counter = %d, span attrs sum to %d",
+			counters["fault_layer_steps_total"], attrSum)
 	}
 	for _, name := range []string{
-		"snn.forward_passes", "snn.layer_steps", "snn.spikes",
-		"core.iterations", "core.restarts_run", "fault.simulated", "fault.detected",
-		"fault.full_layer_steps",
+		"snn_forward_passes_total", "snn_layer_steps_total", "snn_spikes_total",
+		"core_iterations_total", "core_restarts_run_total", "fault_simulated_total", "fault_detected_total",
+		"fault_full_layer_steps_total",
 	} {
 		if counters[name] <= 0 {
 			t.Errorf("counter %s = %d, want > 0", name, counters[name])
 		}
 	}
-	if counters["snn.layer_steps"] < counters["fault.layer_steps"] {
-		t.Errorf("snn.layer_steps (%d) < fault.layer_steps (%d)",
-			counters["snn.layer_steps"], counters["fault.layer_steps"])
+	if counters["snn_layer_steps_total"] < counters["fault_layer_steps_total"] {
+		t.Errorf("snn_layer_steps_total (%d) < fault_layer_steps_total (%d)",
+			counters["snn_layer_steps_total"], counters["fault_layer_steps_total"])
 	}
 }
 

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// TestSigintFlushesTrace pins the graceful-shutdown contract end to end:
+// a quickstart process interrupted mid-pipeline must still exit cleanly,
+// and its -trace file must be complete, valid JSONL — terminated by the
+// final counter snapshot — rather than a truncated stream.
+func TestSigintFlushesTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a subprocess")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "quickstart")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	trace := filepath.Join(dir, "trace.jsonl")
+	cmd := exec.Command(bin, "-quiet", "-trace", trace)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt as soon as the tour has printed its first report line, so
+	// the signal lands while test generation is still ahead of us.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Process.Kill()
+		t.Fatalf("no stdout before exit (scan err: %v)", sc.Err())
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for sc.Scan() { // drain so the child never blocks on a full pipe
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted quickstart exited with error: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatal("interrupted quickstart did not exit within 2m")
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var last obs.Event
+	lines, counters := 0, 0
+	fsc := bufio.NewScanner(f)
+	fsc.Buffer(make([]byte, 1<<20), 1<<20)
+	for fsc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(fsc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v\n%s", lines+1, err, fsc.Text())
+		}
+		lines++
+		last = e
+		if e.Kind == obs.KindCounters {
+			counters++
+		}
+	}
+	if err := fsc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("trace is empty")
+	}
+	if counters != 1 || last.Kind != obs.KindCounters {
+		t.Errorf("trace must end with exactly one counter snapshot; got %d snapshot(s), last event kind %q",
+			counters, last.Kind)
+	}
+}

@@ -16,9 +16,15 @@ import (
 // Generator-level counters; updated at most once per iteration so the
 // optimizer's inner loops never touch them.
 var (
-	obsIterations  = obs.NewCounter("core.iterations")
-	obsGrowths     = obs.NewCounter("core.growths")
-	obsRestartsRun = obs.NewCounter("core.restarts_run")
+	obsIterations  = obs.NewCounter("core_iterations_total")
+	obsGrowths     = obs.NewCounter("core_growths_total")
+	obsRestartsRun = obs.NewCounter("core_restarts_run_total")
+
+	// Live-progress gauges for the telemetry server's /metrics and /runs
+	// views; written once per iteration alongside the counters above.
+	obsGenIteration = obs.NewGauge("core_generate_iteration_index")
+	obsGenActivated = obs.NewGauge("core_generate_activated_neurons")
+	obsGenTotal     = obs.NewGauge("core_generate_total_neurons")
 )
 
 // IterationStats records one iteration of the outer loop (one generated
@@ -107,6 +113,12 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	offsets := net.LayerOffsets()
 	totalNeurons := net.NumNeurons()
+	if obs.On() {
+		obsGenIteration.Set(0)
+		obsGenActivated.Set(0)
+		obsGenTotal.Set(int64(totalNeurons))
+		obs.Progress("generate", 0, totalNeurons)
+	}
 
 	tInMin := cfg.TInMin
 	if tInMin == 0 {
@@ -160,12 +172,19 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 			// Serial legacy path: the single optimizer consumes the master
 			// RNG stream directly, reproducing historical outputs
 			// byte-for-byte.
+			var t0 time.Time
+			if obs.On() {
+				t0 = time.Now()
+			}
 			rctx, rsp := obs.Start(ictx, "generate/restart")
 			rsp.SetAttr("restart", 0)
 			opt := newChunkOptimizer(net, &cfg, rng, tInMin)
 			best, growths, err := runGrowthLoop(rctx, opt, &cfg, mask, tdMin, target, offsets)
 			rsp.SetAttr("growths", growths)
 			rsp.End()
+			if obs.On() {
+				obsRestartHist.Observe(time.Since(t0))
+			}
 			if err != nil {
 				isp.End()
 				return nil, err
@@ -210,6 +229,9 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 			obsIterations.Add(1)
 			obsGrowths.Add(int64(winner.growths))
 			obsRestartsRun.Add(int64(winner.run))
+			obsGenIteration.Set(int64(iter + 1))
+			obsGenActivated.Set(int64(len(activated)))
+			obs.Progress("generate", len(activated), totalNeurons)
 			isp.SetAttr("chunk_steps", best.stim.Dim(0))
 			isp.SetAttr("new_activated", newCount)
 			isp.SetAttr("restart_won", winner.idx)

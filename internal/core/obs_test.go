@@ -79,17 +79,17 @@ func TestObsGenerateSpanTree(t *testing.T) {
 	}
 
 	snap := obs.Snapshot()
-	if snap["core.iterations"] != int64(len(res.Trace)) {
-		t.Errorf("core.iterations = %d, want %d", snap["core.iterations"], len(res.Trace))
+	if snap["core_iterations_total"] != int64(len(res.Trace)) {
+		t.Errorf("core_iterations_total = %d, want %d", snap["core_iterations_total"], len(res.Trace))
 	}
 	wantRestarts := int64(0)
 	for _, tr := range res.Trace {
 		wantRestarts += int64(tr.RestartsRun)
 	}
-	if snap["core.restarts_run"] != wantRestarts {
-		t.Errorf("core.restarts_run = %d, want %d", snap["core.restarts_run"], wantRestarts)
+	if snap["core_restarts_run_total"] != wantRestarts {
+		t.Errorf("core_restarts_run_total = %d, want %d", snap["core_restarts_run_total"], wantRestarts)
 	}
-	if snap["snn.forward_passes"] == 0 {
+	if snap["snn_forward_passes_total"] == 0 {
 		t.Error("generator ran with zero recorded forward passes")
 	}
 }

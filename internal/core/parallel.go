@@ -5,9 +5,19 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/repro/snntest/internal/obs"
 	"github.com/repro/snntest/internal/snn"
+)
+
+// Restart-engine telemetry: how many workers are mid-optimization right
+// now, and how long one restart's growth loop takes end to end. The
+// serial legacy path in GenerateContext feeds the same histogram so the
+// latency distribution is comparable across engine modes.
+var (
+	obsRestartInflight = obs.NewGauge("core_restart_inflight_workers")
+	obsRestartHist     = obs.NewTimingHistogram("core_restart_optimize_seconds")
 )
 
 // runIndexed executes fn(0..n-1) on a pool of the given number of worker
@@ -73,6 +83,12 @@ func runRestarts(ctx context.Context, net *snn.Network, cfg *Config, iterSeed in
 		if ctx.Err() != nil {
 			return
 		}
+		on := obs.On()
+		var t0 time.Time
+		if on {
+			obsRestartInflight.Add(1)
+			t0 = time.Now()
+		}
 		rctx, rsp := obs.Start(ctx, "generate/restart")
 		rsp.SetAttr("restart", r)
 		rng := rand.New(rand.NewSource(iterSeed + int64(r)))
@@ -80,6 +96,10 @@ func runRestarts(ctx context.Context, net *snn.Network, cfg *Config, iterSeed in
 		best, growths, err := runGrowthLoop(rctx, opt, cfg, mask, tdMin, target, offsets)
 		rsp.SetAttr("growths", growths)
 		rsp.End()
+		if on {
+			obsRestartHist.Observe(time.Since(t0))
+			obsRestartInflight.Add(-1)
+		}
 		slots[r] = slot{opt: opt, best: best, growths: growths, done: true, err: err}
 	})
 

@@ -37,12 +37,26 @@ type CampaignOptions struct {
 // Campaign-level counters, updated once per campaign (not per fault) so
 // the disabled obs layer costs nothing on the fault hot path.
 var (
-	obsCampaignLayerSteps = obs.NewCounter("fault.layer_steps")
-	obsCampaignFullSteps  = obs.NewCounter("fault.full_layer_steps")
-	obsFaultsSimulated    = obs.NewCounter("fault.simulated")
-	obsFaultsDetected     = obs.NewCounter("fault.detected")
-	obsFaultsClassified   = obs.NewCounter("fault.classified")
-	obsFaultsCritical     = obs.NewCounter("fault.critical")
+	obsCampaignLayerSteps = obs.NewCounter("fault_layer_steps_total")
+	obsCampaignFullSteps  = obs.NewCounter("fault_full_layer_steps_total")
+	obsFaultsSimulated    = obs.NewCounter("fault_simulated_total")
+	obsFaultsDetected     = obs.NewCounter("fault_detected_total")
+	obsFaultsClassified   = obs.NewCounter("fault_classified_total")
+	obsFaultsCritical     = obs.NewCounter("fault_critical_total")
+)
+
+// Live-campaign gauges and latency histogram, only touched when the obs
+// layer is enabled (the telemetry server's /metrics and /runs views).
+// done/total track the progress-reporter stride; detected/critical are
+// bumped per hit so coverage-so-far is exact; the inflight gauge pairs
+// Add(1)/Add(-1) around each worker's lifetime.
+var (
+	obsCampaignInflight = obs.NewGauge("fault_campaign_inflight_workers")
+	obsCampaignDone     = obs.NewGauge("fault_campaign_done_faults")
+	obsCampaignTotal    = obs.NewGauge("fault_campaign_total_faults")
+	obsCampaignDetected = obs.NewGauge("fault_campaign_detected_faults")
+	obsCampaignCritical = obs.NewGauge("fault_campaign_critical_faults")
+	obsFaultSimHist     = obs.NewTimingHistogram("fault_simulation_seconds")
 )
 
 // SimResult is the outcome of one fault-simulation campaign against a
@@ -95,6 +109,10 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 		workers = n
 	}
 	if workers <= 1 {
+		if obs.On() {
+			obsCampaignInflight.Add(1)
+			defer obsCampaignInflight.Add(-1)
+		}
 		inj := NewInjector(golden)
 		for i := 0; i < n; i++ {
 			fn(inj, i)
@@ -107,6 +125,10 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if obs.On() {
+				obsCampaignInflight.Add(1)
+				defer obsCampaignInflight.Add(-1)
+			}
 			inj := NewInjector(golden)
 			for i := range next {
 				fn(inj, i)
@@ -185,6 +207,12 @@ func (r *progressReporter) finish() {
 }
 
 func (r *progressReporter) emit(done int) {
+	if obs.On() {
+		// Gauges first, so a /runs snapshot triggered by the progress
+		// event below already sees the matching done count.
+		obsCampaignDone.Set(int64(done))
+		obsCampaignTotal.Set(int64(r.total))
+	}
 	for _, s := range r.sinks {
 		s.report(done, r.total)
 	}
@@ -237,9 +265,19 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
 	rep := newProgressReporter(len(faults), 256, opts, "campaign/simulate")
+	if obs.On() {
+		obsCampaignDone.Set(0)
+		obsCampaignTotal.Set(int64(len(faults)))
+		obsCampaignDetected.Set(0)
+	}
 	var layerSteps atomic.Int64
 	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
 		f := faults[i]
+		on := obs.On()
+		var t0 time.Time
+		if on {
+			t0 = time.Now()
+		}
 		revert := inj.Apply(f)
 		var detected bool
 		var ls int
@@ -252,6 +290,12 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		revert()
 		res.Detected[i] = detected
 		layerSteps.Add(int64(ls))
+		if on {
+			if detected {
+				obsCampaignDetected.Add(1)
+			}
+			obsFaultSimHist.Observe(time.Since(t0))
+		}
 		rep.tick()
 	})
 	rep.finish()
@@ -313,9 +357,19 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
 	rep := newProgressReporter(len(faults), 64, opts, "campaign/classify")
+	if obs.On() {
+		obsCampaignDone.Set(0)
+		obsCampaignTotal.Set(int64(len(faults)))
+		obsCampaignCritical.Set(0)
+	}
 	var layerSteps atomic.Int64
 	parallelFaults(golden, len(faults), opts.Workers, func(inj *Injector, i int) {
 		f := faults[i]
+		on := obs.On()
+		var t0 time.Time
+		if on {
+			t0 = time.Now()
+		}
 		startLayer := f.StartLayer()
 		if opts.FullResim {
 			startLayer = 0
@@ -338,6 +392,12 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 		}
 		revert()
 		layerSteps.Add(int64(ls))
+		if on {
+			if res.Critical[i] {
+				obsCampaignCritical.Add(1)
+			}
+			obsFaultSimHist.Observe(time.Since(t0))
+		}
 		rep.tick()
 	})
 	rep.finish()

@@ -128,12 +128,12 @@ func TestObsCampaignCountersReconcile(t *testing.T) {
 	}
 	snap := obs.Snapshot()
 	want := map[string]int64{
-		"fault.simulated":        int64(len(faults)),
-		"fault.detected":         int64(sim.NumDetected()),
-		"fault.classified":       int64(len(faults)),
-		"fault.critical":         int64(critical),
-		"fault.layer_steps":      sim.LayerSteps + cls.LayerSteps,
-		"fault.full_layer_steps": sim.FullLayerSteps + cls.FullLayerSteps,
+		"fault_simulated_total":        int64(len(faults)),
+		"fault_detected_total":         int64(sim.NumDetected()),
+		"fault_classified_total":       int64(len(faults)),
+		"fault_critical_total":         int64(critical),
+		"fault_layer_steps_total":      sim.LayerSteps + cls.LayerSteps,
+		"fault_full_layer_steps_total": sim.FullLayerSteps + cls.FullLayerSteps,
 	}
 	for name, w := range want {
 		if snap[name] != w {
@@ -143,11 +143,11 @@ func TestObsCampaignCountersReconcile(t *testing.T) {
 
 	// The snn hot-path counters must cover at least the campaign work
 	// (golden runs add more, never less).
-	if snap["snn.layer_steps"] < want["fault.layer_steps"] {
-		t.Errorf("snn.layer_steps = %d < campaign layer-steps %d",
-			snap["snn.layer_steps"], want["fault.layer_steps"])
+	if snap["snn_layer_steps_total"] < want["fault_layer_steps_total"] {
+		t.Errorf("snn_layer_steps_total = %d < campaign layer-steps %d",
+			snap["snn_layer_steps_total"], want["fault_layer_steps_total"])
 	}
-	if snap["snn.forward_passes"] == 0 || snap["snn.spikes"] == 0 {
+	if snap["snn_forward_passes_total"] == 0 || snap["snn_spikes_total"] == 0 {
 		t.Errorf("snn counters dead: %v", snap)
 	}
 

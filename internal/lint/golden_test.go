@@ -51,6 +51,7 @@ var goldenCases = []struct {
 	{ErrcheckLite, "github.com/repro/snntest/cmd/lintfixture", true},
 	{StdlibOnly, "github.com/repro/snntest/lintfixture/stdlibonlyfix", false},
 	{Spanend, "github.com/repro/snntest/lintfixture/spanendfix", true},
+	{Metricname, "github.com/repro/snntest/lintfixture/metricnamefix", true},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

@@ -13,7 +13,10 @@
 //     error returns,
 //   - stdlibonly: imports stay standard-library or module-internal,
 //   - spanend: every obs.Start span is ended or returned in its
-//     enclosing function (leaked spans corrupt trace trees).
+//     enclosing function (leaked spans corrupt trace trees),
+//   - metricname: obs metric registrations use constant snake_case
+//     subsystem_noun_unit names with the kind's unit suffix, so the
+//     /metrics exposition stays valid and self-describing.
 //
 // The cmd/snnlint CLI drives these over the whole module; verify.sh
 // wires them into the tier-1+ gate.
@@ -74,7 +77,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly, Spanend}
+	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly, Spanend, Metricname}
 }
 
 // Run applies the analyzers to every package of the module plus the

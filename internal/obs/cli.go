@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,22 +19,28 @@ import (
 //	-v            debug-level logging
 //	-quiet        suppress status logging
 //	-trace FILE   JSONL span/counter trace
+//	-serve ADDR   live telemetry HTTP server (/metrics, /runs, pprof)
 //	-cpuprofile FILE, -memprofile FILE
 //
 // Register the flags on the binary's FlagSet, then call Start after
-// parsing; the returned stop function flushes profiles, emits the final
-// counter snapshot, prints the end-of-run span tree and resets the
-// global obs state so repeated in-process runs (tests) stay hermetic.
+// parsing; the returned stop function shuts the telemetry server down,
+// flushes profiles, emits the final counter snapshot, prints the
+// end-of-run span tree and resets the global obs state so repeated
+// in-process runs (tests) stay hermetic.
 type CLI struct {
 	Verbose    bool
 	Quiet      bool
 	Trace      string
+	Serve      string
 	CPUProfile string
 	MemProfile string
 	// ForceEnable turns the observability layer on even without -trace
 	// (counters accumulate; no trace sink). benchreport's -obs mode sets
 	// it so the run manifest's counter snapshot is populated.
 	ForceEnable bool
+	// ServedAddr is the telemetry server's resolved listen address after
+	// Start when -serve was given (":0" resolves to an ephemeral port).
+	ServedAddr string
 }
 
 // Register installs the shared flags on fs.
@@ -41,9 +48,29 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) status logging")
 	fs.BoolVar(&c.Quiet, "quiet", false, "suppress status logging")
 	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span/counter trace to this file")
+	fs.StringVar(&c.Serve, "serve", "", "serve live telemetry (/metrics, /healthz, /readyz, /runs, /debug/pprof) on this host:port for the run's duration")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 }
+
+// ServeHandle is a running telemetry server as seen by the CLI bundle:
+// its resolved address, the run-tracking sink to register on the event
+// stream, and the graceful shutdown entry point.
+type ServeHandle struct {
+	Addr     string
+	Sink     Sink
+	Shutdown func(context.Context) error
+}
+
+// serveHook starts a telemetry server on the given address. It is
+// registered by the internal/obs/telemetry package's init (obs cannot
+// import it — the server depends on this package), so binaries opt into
+// -serve simply by importing internal/obs/telemetry.
+var serveHook func(addr string) (ServeHandle, error)
+
+// RegisterServeHook installs the -serve implementation. Called once,
+// from init; later registrations overwrite earlier ones.
+func RegisterServeHook(h func(addr string) (ServeHandle, error)) { serveHook = h }
 
 // Level resolves the flag pair into a log level.
 func (c *CLI) Level() LogLevel {
@@ -58,10 +85,14 @@ func (c *CLI) Level() LogLevel {
 }
 
 // Start validates the flags, builds the shared logger on stderr, and —
-// when -trace is set — enables the observability layer with a JSONL sink
-// plus an in-memory recorder for the final tree summary, and starts the
-// requested pprof profiles. The stop function is safe to defer on every
-// path (including flag errors, when it is a no-op).
+// when -trace, -serve or ForceEnable ask for it — enables the
+// observability layer: -trace adds a JSONL sink plus an in-memory
+// recorder for the final tree summary, -serve starts the telemetry
+// server (requires internal/obs/telemetry to be linked in) and registers
+// its run-tracking sink, and the requested pprof profiles are started.
+// The stop function is safe to defer on every path (including flag
+// errors, when it is a no-op); it shuts the server down gracefully,
+// flushes and closes the trace, and restores the dark default.
 func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 	if c.Verbose && c.Quiet {
 		return nil, nil, fmt.Errorf("obs: -v and -quiet are mutually exclusive")
@@ -86,22 +117,37 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 		return nil, nil, err
 	}
 
+	var jsonl *JSONLSink
+	var rec *Recorder
+	var traceFile *os.File
 	if c.Trace != "" {
 		f, err := os.Create(c.Trace)
 		if err != nil {
 			return fail(err)
 		}
-		jsonl := NewJSONLSink(f)
-		rec := &Recorder{}
-		SetSinks(jsonl, rec)
+		traceFile, jsonl, rec = f, NewJSONLSink(f), &Recorder{}
+	}
+	if c.Trace != "" || c.Serve != "" || c.ForceEnable {
+		if jsonl != nil {
+			SetSinks(jsonl, rec)
+		} else {
+			SetSinks()
+		}
 		ResetCounters()
 		Enable()
+		// This cleanup runs last (LIFO): the telemetry server has already
+		// shut down, so the final counter snapshot is the run's total.
 		cleanups = append(cleanups, func() error {
-			EmitCounterSnapshot()
+			if jsonl != nil {
+				EmitCounterSnapshot()
+			}
 			snapshot := Snapshot()
 			Disable()
 			SetSinks()
 			ResetCounters()
+			if jsonl == nil {
+				return nil
+			}
 			if log.Enabled(LevelInfo) {
 				// Summary goes through the logger's writer so -quiet
 				// suppresses it alongside every other status line.
@@ -114,24 +160,32 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 				}
 			}
 			if err := jsonl.Err(); err != nil {
-				_ = f.Close()
+				_ = traceFile.Close()
 				return fmt.Errorf("obs: trace write: %w", err)
 			}
-			if err := f.Close(); err != nil {
+			if err := traceFile.Close(); err != nil {
 				return fmt.Errorf("obs: trace close: %w", err)
 			}
 			log.Infof("trace written to %s", c.Trace)
 			return nil
 		})
 	}
-	if c.Trace == "" && c.ForceEnable {
-		ResetCounters()
-		Enable()
+	if c.Serve != "" {
+		if serveHook == nil {
+			return fail(fmt.Errorf("obs: -serve needs the telemetry server linked in; import internal/obs/telemetry"))
+		}
+		h, err := serveHook(c.Serve)
+		if err != nil {
+			return fail(err)
+		}
+		c.ServedAddr = h.Addr
+		AddSink(h.Sink)
 		cleanups = append(cleanups, func() error {
-			Disable()
-			ResetCounters()
-			return nil
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return h.Shutdown(ctx)
 		})
+		log.Infof("telemetry server listening on http://%s (/metrics /healthz /readyz /runs /debug/pprof)", h.Addr)
 	}
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TimingBounds are the fixed upper bucket bounds, in seconds, shared by
+// every TimingHistogram: decades from 1µs to 10s. A fixed global layout
+// keeps Observe allocation-free and lock-free (one atomic add per
+// bucket hit) and makes every exposed histogram directly comparable.
+// Durations above the last bound land in the implicit +Inf bucket.
+var TimingBounds = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// TimingHistogram is a lock-free fixed-bucket latency distribution:
+// per-bucket atomic hit counts plus an atomic total count and nanosecond
+// sum. Observe costs one bounds scan (8 float compares) and three
+// atomic adds, so hot paths guard it behind On() exactly like counters:
+//
+//	if obs.On() {
+//		forwardHist.Observe(time.Since(t0))
+//	}
+//
+// The zero value is unusable; obtain histograms from NewTimingHistogram.
+type TimingHistogram struct {
+	name     string
+	buckets  [len(TimingBounds) + 1]atomic.Int64 // last slot is +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// Name returns the histogram's registered name.
+func (h *TimingHistogram) Name() string { return h.name }
+
+// Observe records one duration. Negative durations are clamped to zero
+// (the monotonic clock cannot go backwards, but a defensive clamp keeps
+// the sum monotone under caller bugs).
+func (h *TimingHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sec := d.Seconds()
+	i := 0
+	for i < len(TimingBounds) && sec > TimingBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *TimingHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time in seconds.
+func (h *TimingHistogram) Sum() float64 {
+	return float64(h.sumNanos.Load()) / 1e9
+}
+
+// reset zeroes the histogram. Called by ResetCounters under the
+// registry lock.
+func (h *TimingHistogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNanos.Store(0)
+}
+
+// HistogramSnapshot is one histogram's state at a point in time.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is the
+// +Inf bucket. The /metrics exposition accumulates them into the
+// cumulative le-labelled series Prometheus expects.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []float64 // upper bounds in seconds, excluding +Inf
+	Counts []int64   // len(Bounds)+1 entries; last is +Inf
+	Count  int64
+	Sum    float64 // seconds
+}
+
+// NewTimingHistogram registers (or retrieves) the timing histogram with
+// the given name. Idempotent like NewCounter.
+func NewTimingHistogram(name string) *TimingHistogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.h == nil {
+		registry.h = make(map[string]*TimingHistogram)
+	}
+	if h, ok := registry.h[name]; ok {
+		return h
+	}
+	h := &TimingHistogram{name: name}
+	registry.h[name] = h
+	return h
+}
+
+// HistogramSnapshots returns every registered timing histogram's state,
+// sorted by name. Per-bucket counts are read once each under the
+// registry lock; like Snapshot, the result is per-value atomic but a
+// concurrent Observe may land between the bucket reads and the
+// count/sum reads, so Count can briefly exceed the bucket total by the
+// number of in-flight observations. The exposition layer therefore
+// derives the cumulative count from the buckets, keeping the series
+// internally consistent.
+func HistogramSnapshots() []HistogramSnapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(registry.h))
+	for _, name := range sortedNamesLocked(registry.h) {
+		h := registry.h[name]
+		s := HistogramSnapshot{
+			Name:   name,
+			Bounds: TimingBounds[:],
+			Counts: make([]int64, len(h.buckets)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			s.Counts[i] = h.buckets[i].Load()
+			s.Count += s.Counts[i]
+		}
+		out = append(out, s)
+	}
+	return out
+}

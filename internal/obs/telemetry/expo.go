@@ -1,0 +1,90 @@
+// Package telemetry is the live observability surface of the repo: an
+// embeddable, stdlib-only net/http server that exposes the obs layer's
+// counters, gauges and timing histograms in Prometheus text exposition
+// format (/metrics), liveness and readiness probes (/healthz, /readyz),
+// on-demand profiling (/debug/pprof/*), and structured live run
+// progress (/runs, /runs/{id}) fed by a Sink registered on the obs
+// event stream — so instrumentation points do not change when a binary
+// opts into serving.
+//
+// Every CLI in this repo gains the server through the shared obs.CLI
+// -serve flag: importing this package (all cmds and examples/quickstart
+// do) registers the serve hook obs.CLI dispatches to. The server is
+// read-only over lock-free metric handles, so scraping a run perturbs
+// neither its results nor (beyond the shared obs.On() branch) its cost
+// model; see DESIGN.md §6.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// WriteMetrics renders every registered obs metric in Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per family
+// followed by its sample lines, families in name order within each
+// kind. Counters and gauges emit a single sample; timing histograms
+// emit the cumulative le-labelled `_bucket` series plus `_sum` and
+// `_count`. Names are valid metric names by construction (the
+// metricname lint analyzer enforces the subsystem_noun_unit convention
+// at every registration site), so no escaping is needed.
+func WriteMetrics(w io.Writer) error {
+	for _, mv := range obs.SnapshotOrdered() {
+		if err := writeSimple(w, mv, "counter"); err != nil {
+			return err
+		}
+	}
+	for _, mv := range obs.GaugeSnapshot() {
+		if err := writeSimple(w, mv, "gauge"); err != nil {
+			return err
+		}
+	}
+	for _, h := range obs.HistogramSnapshots() {
+		if err := writeHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSimple emits one single-sample family (counter or gauge).
+func writeSimple(w io.Writer, mv obs.MetricValue, kind string) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", mv.Name, kind, mv.Name, mv.Value)
+	return err
+}
+
+// writeHistogram emits one histogram family: cumulative buckets in
+// ascending le order ending at +Inf, then the sum (seconds) and count.
+// The count is derived from the bucket total so the family is
+// internally consistent even against in-flight observations (see
+// obs.HistogramSnapshots).
+func writeHistogram(w io.Writer, h obs.HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, formatBound(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		h.Name, strconv.FormatFloat(h.Sum, 'g', -1, 64), h.Name, cum); err != nil {
+		return err
+	}
+	return nil
+}
+
+// formatBound renders an le bound with the shortest exact float form
+// ("1e-06", "0.001", "10").
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

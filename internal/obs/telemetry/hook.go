@@ -1,0 +1,18 @@
+package telemetry
+
+import "github.com/repro/snntest/internal/obs"
+
+// init wires this package into the shared obs.CLI -serve flag: any
+// binary that imports telemetry (every cmd and examples/quickstart)
+// gains the live server without further plumbing, mirroring the
+// net/http/pprof import-for-effect idiom.
+func init() {
+	obs.RegisterServeHook(func(addr string) (obs.ServeHandle, error) {
+		s := New()
+		bound, err := s.Start(addr)
+		if err != nil {
+			return obs.ServeHandle{}, err
+		}
+		return obs.ServeHandle{Addr: bound, Sink: s.Sink(), Shutdown: s.Shutdown}, nil
+	})
+}

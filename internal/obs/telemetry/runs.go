@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// maxRuns bounds the retained run history; the oldest terminal runs are
+// evicted first so a long-lived server cannot grow without bound.
+const maxRuns = 64
+
+// RunProgress is the JSON shape of one tracked run as served by /runs
+// and /runs/{id}. A "run" is one progress-reporting activity instance —
+// a fault-simulation campaign, a classification campaign, or a
+// generation loop — identified by the obs progress event stream.
+type RunProgress struct {
+	ID    string `json:"id"`
+	Phase string `json:"phase"` // the progress stream name, e.g. "campaign/simulate"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Percent is 100*Done/Total (0 when Total is 0).
+	Percent float64 `json:"percent"`
+	// Started/Updated are the first and latest progress event times.
+	Started time.Time `json:"started"`
+	Updated time.Time `json:"updated"`
+	// ElapsedMS is Updated-Started; ETAMS extrapolates the remaining
+	// wall-clock from the observed rate (-1 while unknown, 0 when done).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	ETAMS     int64 `json:"eta_ms"`
+	// Detected/CoveragePercent give live fault coverage for campaign
+	// runs (detected-or-critical count so far and its percentage of the
+	// faults completed); both are zero for non-campaign runs.
+	Detected        int64   `json:"detected,omitempty"`
+	CoveragePercent float64 `json:"coverage_percent,omitempty"`
+	// Terminal marks a run that reached done == total.
+	Terminal bool `json:"terminal"`
+}
+
+// Sink tracks live run progress from the obs event stream. It
+// implements obs.Sink; register it with obs.AddSink (the obs.CLI -serve
+// path does this) and every progress event becomes queryable run state.
+// Safe for concurrent Emit and snapshot use.
+type Sink struct {
+	mu   sync.Mutex
+	seq  int
+	runs []*runState
+
+	// detected/critical are shared handles onto the campaign-layer
+	// coverage gauges; reading them at each progress event freezes
+	// coverage-so-far into the run record without coupling the
+	// instrumentation sites to this package.
+	detected *obs.Gauge
+	critical *obs.Gauge
+}
+
+// runState is the mutable tracking record behind one RunProgress.
+type runState struct {
+	id       string
+	phase    string
+	done     int
+	total    int
+	started  time.Time
+	updated  time.Time
+	detected int64
+	terminal bool
+}
+
+// NewSink returns an empty run tracker.
+func NewSink() *Sink {
+	return &Sink{
+		detected: obs.NewGauge("fault_campaign_detected_faults"),
+		critical: obs.NewGauge("fault_campaign_critical_faults"),
+	}
+}
+
+// Emit consumes one obs event. Only progress events mutate run state;
+// span and counter events are ignored (the /metrics endpoint serves
+// counters directly from the registry).
+func (s *Sink) Emit(e obs.Event) {
+	if e.Kind != obs.KindProgress {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.activeLocked(e.Name, e.Done, e.Start)
+	r.done = e.Done
+	r.total = e.Total
+	r.updated = e.Start
+	if strings.HasPrefix(e.Name, "campaign/") {
+		r.detected = s.detected.Value()
+		if strings.HasSuffix(e.Name, "/classify") {
+			r.detected = s.critical.Value()
+		}
+	}
+	if r.total > 0 && r.done >= r.total {
+		r.terminal = true
+	}
+}
+
+// activeLocked returns the current run for the named activity, starting
+// a new one when none exists, the previous one completed, or the done
+// count moved backwards (a fresh campaign reusing the name).
+func (s *Sink) activeLocked(name string, done int, start time.Time) *runState {
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		r := s.runs[i]
+		if r.phase == name && !r.terminal && r.done <= done {
+			return r
+		}
+		if r.phase == name {
+			break
+		}
+	}
+	s.seq++
+	r := &runState{id: fmt.Sprintf("run-%d", s.seq), phase: name, started: start}
+	s.runs = append(s.runs, r)
+	if len(s.runs) > maxRuns {
+		s.runs = append(s.runs[:0:0], s.runs[len(s.runs)-maxRuns:]...)
+	}
+	return r
+}
+
+// Runs returns a snapshot of every tracked run in start order.
+func (s *Sink) Runs() []RunProgress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunProgress, 0, len(s.runs))
+	for _, r := range s.runs {
+		out = append(out, r.progress())
+	}
+	return out
+}
+
+// Run returns the run with the given id, if tracked.
+func (s *Sink) Run(id string) (RunProgress, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.id == id {
+			return r.progress(), true
+		}
+	}
+	return RunProgress{}, false
+}
+
+// progress derives the served view from the tracking record. Callers
+// hold the sink lock.
+func (r *runState) progress() RunProgress {
+	p := RunProgress{
+		ID:       r.id,
+		Phase:    r.phase,
+		Done:     r.done,
+		Total:    r.total,
+		Started:  r.started,
+		Updated:  r.updated,
+		Detected: r.detected,
+		Terminal: r.terminal,
+		ETAMS:    -1,
+	}
+	if r.total > 0 {
+		p.Percent = 100 * float64(r.done) / float64(r.total)
+	}
+	if r.done > 0 {
+		p.CoveragePercent = 100 * float64(r.detected) / float64(r.done)
+	}
+	elapsed := r.updated.Sub(r.started)
+	if elapsed > 0 {
+		p.ElapsedMS = elapsed.Milliseconds()
+	}
+	switch {
+	case r.terminal:
+		p.ETAMS = 0
+	case r.done > 0 && elapsed > 0 && r.total > r.done:
+		perItem := float64(elapsed) / float64(r.done)
+		p.ETAMS = time.Duration(perItem * float64(r.total-r.done)).Milliseconds()
+	}
+	return p
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the embeddable telemetry HTTP server. Construct with New,
+// start with Start (which binds the listener and reports the resolved
+// address, so ":0" works in tests), and stop with Shutdown. Endpoints:
+//
+//	/metrics        Prometheus text exposition of every obs metric
+//	/healthz        liveness: 200 while the process is up
+//	/readyz         readiness: 200 after Start, 503 after Shutdown begins
+//	/runs           JSON list of tracked runs (live + recent history)
+//	/runs/{id}      one run, 404 when unknown
+//	/debug/pprof/*  net/http/pprof profiling handlers
+type Server struct {
+	sink     *Sink
+	srv      *http.Server
+	ready    atomic.Bool
+	serveErr chan error
+}
+
+// New builds an unstarted server with a fresh run-tracking sink.
+func New() *Server {
+	s := &Server{sink: NewSink(), serveErr: make(chan error, 1)}
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Sink returns the server's run tracker; register it on the obs event
+// stream (obs.AddSink) so /runs has data.
+func (s *Server) Sink() *Sink { return s.sink }
+
+// Handler returns the server's route table, also usable standalone
+// under httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (host:port; ":0" for an ephemeral port) and serves
+// in a background goroutine, returning the resolved listen address. The
+// goroutine is joined by Shutdown via the serveErr channel.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
+	s.ready.Store(true)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown marks the server unready, drains in-flight requests
+// gracefully within ctx's deadline, and joins the serve goroutine.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	err := s.srv.Shutdown(ctx)
+	if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: shutdown: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Write errors mean the scraper hung up; nothing useful to do.
+	_ = WriteMetrics(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = fmt.Fprintln(w, "ready")
+}
+
+// runsResponse is the /runs JSON envelope.
+type runsResponse struct {
+	Runs []RunProgress `json:"runs"`
+	Now  time.Time     `json:"now"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, runsResponse{Runs: s.sink.Runs(), Now: time.Now()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.sink.Run(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, run)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encode errors mean the client hung up mid-response.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// TrajectoryRecord is one run's entry in the cumulative
+// BENCH_trajectory.json artifact: a benchmark (or instrumented run)
+// result keyed by the git revision and wall-clock time that produced
+// it, so performance can be plotted across the repo's history instead
+// of judged from one snapshot.
+type TrajectoryRecord struct {
+	// GitRev is the HEAD commit at record time ("unknown" outside git).
+	GitRev string `json:"git_rev"`
+	// Time is the record creation time (RFC 3339).
+	Time string `json:"time"`
+	// GoVersion is the toolchain that produced the numbers.
+	GoVersion string `json:"go_version"`
+	// Source names the producer, e.g. "benchreport" or "bench:campaign".
+	Source string `json:"source"`
+	// Metrics holds the run's headline numbers by metric name.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NewTrajectoryRecord stamps a record with the current process state.
+func NewTrajectoryRecord(source string, metrics map[string]float64) TrajectoryRecord {
+	return TrajectoryRecord{
+		GitRev:    gitRev(),
+		Time:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Source:    source,
+		Metrics:   metrics,
+	}
+}
+
+// AppendTrajectory appends rec to the JSON array at path,
+// read-modify-write: a missing file starts a new array, an existing one
+// must parse (a corrupt history is an error, never silently truncated).
+// Writes go through a temp file + rename so a crash cannot leave the
+// trajectory half-written.
+func AppendTrajectory(path string, rec TrajectoryRecord) error {
+	var records []TrajectoryRecord
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("obs: trajectory %s is corrupt: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First record: start a fresh array.
+	default:
+		return err
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+
+	r1 := NewTrajectoryRecord("bench:campaign", map[string]float64{"savings_x": 3.5})
+	if r1.Source != "bench:campaign" || r1.Time == "" || r1.GitRev == "" || r1.GoVersion == "" {
+		t.Fatalf("record not fully stamped: %+v", r1)
+	}
+	if err := AppendTrajectory(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, NewTrajectoryRecord("benchreport", map[string]float64{"faults": 120})); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []TrajectoryRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("trajectory is not a JSON array: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	if records[0].Source != "bench:campaign" || records[0].Metrics["savings_x"] != 3.5 {
+		t.Errorf("first record mangled: %+v", records[0])
+	}
+	if records[1].Source != "benchreport" || records[1].Metrics["faults"] != 120 {
+		t.Errorf("second record mangled: %+v", records[1])
+	}
+}
+
+func TestAppendTrajectoryCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := AppendTrajectory(path, NewTrajectoryRecord("x", nil))
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt history must refuse the append, got err=%v", err)
+	}
+	// The corrupt file must be left untouched for forensics.
+	data, _ := os.ReadFile(path)
+	if string(data) != "{not json" {
+		t.Errorf("corrupt trajectory was overwritten: %q", data)
+	}
+}

@@ -2,6 +2,7 @@ package snn
 
 import (
 	"fmt"
+	"time"
 
 	ag "github.com/repro/snntest/internal/autograd"
 	"github.com/repro/snntest/internal/obs"
@@ -11,10 +12,16 @@ import (
 // Hot-path counters of the fast simulation loop. Every update is guarded
 // by a single obs.On() branch so the disabled (default) layer leaves the
 // simulator's cost model untouched; see DESIGN.md §6 for the taxonomy.
+// The latency histograms are flushed once per forward pass alongside the
+// counters: the per-layer-step distribution is derived as pass duration
+// over executed layer-steps, so the inner simulation loop never reads
+// the clock.
 var (
-	obsForwardPasses = obs.NewCounter("snn.forward_passes")
-	obsLayerSteps    = obs.NewCounter("snn.layer_steps")
-	obsSpikes        = obs.NewCounter("snn.spikes")
+	obsForwardPasses = obs.NewCounter("snn_forward_passes_total")
+	obsLayerSteps    = obs.NewCounter("snn_layer_steps_total")
+	obsSpikes        = obs.NewCounter("snn_spikes_total")
+	obsForwardHist   = obs.NewTimingHistogram("snn_forward_pass_seconds")
+	obsLayerStepHist = obs.NewTimingHistogram("snn_layer_step_seconds")
 )
 
 // Network is a feedforward stack of spiking layers (recurrent projections
@@ -254,6 +261,10 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 	if stopOnDiverge {
 		outRow, goldenRow = rec.Layers[last], golden.Layers[last]
 	}
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	layerSteps := 0
 	for t := 0; t < steps; t++ {
 		var in *tensor.Tensor
@@ -278,25 +289,31 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 		}
 		if stopOnDiverge && !tensor.RowEqual(outRow, goldenRow, t) {
 			if obs.On() {
-				s.observe(rec, start, t+1, layerSteps)
+				s.observe(rec, start, t+1, layerSteps, time.Since(t0))
 			}
 			return rec, layerSteps, true
 		}
 	}
 	if obs.On() {
-		s.observe(rec, start, steps, layerSteps)
+		s.observe(rec, start, steps, layerSteps, time.Since(t0))
 	}
 	return rec, layerSteps, false
 }
 
-// observe flushes one run's hot-path counters: a forward pass, the
-// simulated layer-steps, and the spikes emitted in the simulated region
-// (layers ≥ start over the first simSteps steps; replayed golden layers
-// below start are not re-counted). Callers gate it behind obs.On(), so
-// the disabled layer costs the simulation loop exactly one branch.
-func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int) {
+// observe flushes one run's hot-path counters and latency histograms: a
+// forward pass, the simulated layer-steps, the spikes emitted in the
+// simulated region (layers ≥ start over the first simSteps steps;
+// replayed golden layers below start are not re-counted), the pass
+// duration, and the mean per-layer-step latency of the pass. Callers
+// gate it behind obs.On(), so the disabled layer costs the simulation
+// loop exactly one branch.
+func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int, elapsed time.Duration) {
 	obsForwardPasses.Add(1)
 	obsLayerSteps.Add(int64(layerSteps))
+	obsForwardHist.Observe(elapsed)
+	if layerSteps > 0 {
+		obsLayerStepHist.Observe(elapsed / time.Duration(layerSteps))
+	}
 	spikes := int64(0)
 	for li := start; li < len(s.net.Layers); li++ {
 		nn := s.net.Layers[li].NumNeurons()

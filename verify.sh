@@ -31,5 +31,32 @@ go test -run Equiv -count=2 ./...
 # byte-identical to a dark run.
 go test -race ./internal/obs/
 go test -run 'TestRunTrace' ./examples/quickstart/
+# Telemetry gate: the live server's exposition format, /runs tracking
+# and lifecycle must be race-clean, and an interrupted quickstart must
+# still flush a complete trace (graceful SIGINT shutdown).
+go test -race ./internal/obs/telemetry/
+go test -run 'TestSigintFlushesTrace' ./examples/quickstart/
+# Live-serve gate: start the quickstart with -serve on an ephemeral
+# port and scrape /metrics and /healthz while the run is in flight.
+if command -v curl >/dev/null 2>&1; then
+    go build -o /tmp/snntest-quickstart ./examples/quickstart
+    # Not -quiet: the gate parses the "listening on" stderr line for the
+    # resolved ephemeral port.
+    /tmp/snntest-quickstart -serve 127.0.0.1:0 >/dev/null 2>/tmp/snntest-serve.log &
+    QS_PID=$!
+    ADDR=""
+    for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+        ADDR=$(sed -n 's#.*telemetry server listening on http://\([^ ]*\).*#\1#p' /tmp/snntest-serve.log)
+        [ -n "$ADDR" ] && break
+        sleep 0.2
+    done
+    [ -n "$ADDR" ] || { echo "verify.sh: telemetry server never announced its address" >&2; kill "$QS_PID" 2>/dev/null; exit 1; }
+    curl -fsS "http://$ADDR/healthz" >/dev/null
+    curl -fsS "http://$ADDR/metrics" | grep -q '^# TYPE snn_forward_passes_total counter$'
+    wait "$QS_PID"
+    rm -f /tmp/snntest-quickstart /tmp/snntest-serve.log
+else
+    echo "verify.sh: curl not found; skipping the live-serve scrape gate" >&2
+fi
 
 echo "verify.sh: all gates passed"
