@@ -6,13 +6,19 @@
 //
 //	go run ./cmd/snnlint ./...
 //	go run ./cmd/snnlint -json ./...
+//	go run ./cmd/snnlint -cache .snnlint-cache.json ./...
 //	go run ./cmd/snnlint -list
 //
 // The module is always analyzed as a whole (package patterns are
 // accepted for command-line symmetry with go vet but do not narrow the
-// walk). See internal/lint for the analyzers and README.md for how to
-// add one. snnlint shares the repo-wide observability flags (-v, -quiet,
-// -trace, -serve, -cpuprofile, -memprofile) with the other cmds.
+// walk) through the incremental parallel driver: -cache persists
+// per-package results keyed by content hash so unchanged packages skip
+// parsing and type-checking, -workers bounds the concurrency (the output
+// is identical for every value), and -baseline filters accepted
+// pre-existing findings recorded with -write-baseline. See internal/lint
+// for the analyzers and README.md for how to add one. snnlint shares the
+// repo-wide observability flags (-v, -quiet, -trace, -serve,
+// -cpuprofile, -memprofile) with the other cmds.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/repro/snntest/internal/lint"
 	"github.com/repro/snntest/internal/obs"
@@ -39,7 +46,6 @@ func main() {
 		os.Exit(2)
 	}
 	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "snnlint: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
 }
@@ -53,6 +59,10 @@ func run(args []string, dir string, stdout, stderr io.Writer) (findings int, err
 	ocli.Register(fs)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	workers := fs.Int("workers", 0, "type-check/analysis concurrency (0 = GOMAXPROCS; output is identical for every value)")
+	cachePath := fs.String("cache", "", "persistent per-package diagnostics cache file (empty = no cache)")
+	baselinePath := fs.String("baseline", "", "accepted-findings baseline file to filter against")
+	writeBaseline := fs.String("write-baseline", "", "record the run's findings as the accepted baseline at this path and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
@@ -73,17 +83,32 @@ func run(args []string, dir string, stdout, stderr io.Writer) (findings int, err
 		return 0, nil
 	}
 
-	mod, err := lint.LoadModule(dir)
+	opts := lint.Options{Workers: *workers, CachePath: *cachePath}
+	if *baselinePath != "" {
+		opts.Baseline, err = lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			return 0, err
+		}
+	}
+	res, err := lint.AnalyzeModule(dir, lint.All(), opts)
 	if err != nil {
 		return 0, err
 	}
-	log.Debugf("loaded module at %s: %d packages", dir, len(mod.Pkgs))
-	diags := lint.Run(mod, lint.All())
-	log.Debugf("ran %d analyzers: %d finding(s)", len(lint.All()), len(diags))
+	st := res.Stats
+	log.Debugf("analyzed module at %s: %d packages", dir, st.Packages)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, dir, res.Diagnostics); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(stderr, "snnlint: wrote %d finding(s) to baseline %s\n", len(res.Diagnostics), *writeBaseline)
+		return 0, nil
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
+		diags := res.Diagnostics
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
@@ -91,9 +116,11 @@ func run(args []string, dir string, stdout, stderr io.Writer) (findings int, err
 			return 0, err
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	return len(diags), nil
+	fmt.Fprintf(stderr, "snnlint: %d package(s): %d analyzed, %d cached; %d suppressed, %d baselined, %d finding(s) in %v\n",
+		st.Packages, st.Analyzed, st.Cached, st.Suppressed, st.Baselined, len(res.Diagnostics), st.Wall.Round(time.Millisecond))
+	return len(res.Diagnostics), nil
 }

@@ -58,3 +58,144 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("want flag-parse error, got nil")
 	}
 }
+
+// writeTempModule lays out a tiny single-package module for exercising
+// the findings and load-error exit paths without touching the real repo.
+func writeTempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/go.mod", []byte("module example.com/tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/tmp.go", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunFindingsCount drives the findings exit path (main maps any
+// positive count to exit code 1): a defer inside a loop is one finding,
+// and the summary line carries the analyzed/suppressed counts.
+func TestRunFindingsCount(t *testing.T) {
+	dir := writeTempModule(t, `package tmp
+
+func leak(fns []func()) {
+	for _, f := range fns {
+		defer f()
+	}
+}
+`)
+	var stdout, stderr bytes.Buffer
+	n, err := run(nil, dir, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d findings, want 1; stdout:\n%s", n, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "[deferloop]") {
+		t.Errorf("missing deferloop diagnostic:\n%s", stdout.String())
+	}
+	sum := stderr.String()
+	for _, want := range []string{"1 package(s)", "1 analyzed", "0 suppressed", "1 finding(s)"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary line missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestRunSuppressedFinding checks that a //lint:ignore directive drops
+// the finding and is counted in the summary.
+func TestRunSuppressedFinding(t *testing.T) {
+	dir := writeTempModule(t, `package tmp
+
+func leak(fns []func()) {
+	for _, f := range fns {
+		defer f() //lint:ignore deferloop bounded fan-in, joined by the caller
+	}
+}
+`)
+	var stdout, stderr bytes.Buffer
+	n, err := run(nil, dir, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("got %d findings, want 0 (suppressed); stdout:\n%s", n, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 suppressed") {
+		t.Errorf("summary line missing suppressed count:\n%s", stderr.String())
+	}
+}
+
+// TestRunLoadErrorExitPath: a type-check failure must surface as an
+// error (main maps it to exit code 2), not as findings.
+func TestRunLoadErrorExitPath(t *testing.T) {
+	dir := writeTempModule(t, "package tmp\n\nfunc broken() { undefinedSymbol() }\n")
+	var stdout, stderr bytes.Buffer
+	if _, err := run(nil, dir, &stdout, &stderr); err == nil {
+		t.Fatal("want type-check error, got nil")
+	}
+}
+
+// TestRunCacheWarm runs twice against the same cache file: the second
+// run must serve every package from the cache and emit identical
+// diagnostics output.
+func TestRunCacheWarm(t *testing.T) {
+	dir := writeTempModule(t, `package tmp
+
+func leak(fns []func()) {
+	for _, f := range fns {
+		defer f()
+	}
+}
+`)
+	cache := dir + "/cache.json"
+	var out1, err1, out2, err2 bytes.Buffer
+	if _, err := run([]string{"-cache", cache}, dir, &out1, &err1); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if _, err := run([]string{"-cache", cache}, dir, &out2, &err2); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("warm-cache diagnostics differ:\ncold:\n%s\nwarm:\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(err2.String(), "0 analyzed, 1 cached") {
+		t.Errorf("warm run did not hit the cache:\n%s", err2.String())
+	}
+}
+
+// TestRunBaselineRoundTrip records findings with -write-baseline, then
+// filters them with -baseline.
+func TestRunBaselineRoundTrip(t *testing.T) {
+	dir := writeTempModule(t, `package tmp
+
+func leak(fns []func()) {
+	for _, f := range fns {
+		defer f()
+	}
+}
+`)
+	bl := dir + "/baseline.json"
+	var stdout, stderr bytes.Buffer
+	n, err := run([]string{"-write-baseline", bl}, dir, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("write-baseline run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("write-baseline mode reported %d findings, want 0", n)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	n, err = run([]string{"-baseline", bl}, dir, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("baselined finding resurfaced: %d findings\n%s", n, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 baselined") {
+		t.Errorf("summary line missing baselined count:\n%s", stderr.String())
+	}
+}

@@ -105,7 +105,7 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 		wrow := wd[i*cols : (i+1)*cols]
 		sum, n := 0.0, 0
 		for j, wv := range wrow {
-			if wv != 0 {
+			if wv != 0 { //lint:ignore floateq zero weight means no synapse; pruned weights are exactly 0 by construction
 				sum += wv * xd[j]
 				n++
 			}
@@ -118,7 +118,7 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 		means[i] = mean
 		varSum := 0.0
 		for j, wv := range wrow {
-			if wv != 0 {
+			if wv != 0 { //lint:ignore floateq zero weight means no synapse; pruned weights are exactly 0 by construction
 				d := wv*xd[j] - mean
 				varSum += d * d
 			}
@@ -131,13 +131,13 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 		g := tensor.New(cols)
 		gd, od := g.Data(), out.Grad.Data()
 		for i := 0; i < rows; i++ {
-			if counts[i] < 2 || od[i] == 0 {
+			if counts[i] < 2 || od[i] == 0 { //lint:ignore floateq skipping only bit-exact zero upstream gradients is safe
 				continue
 			}
 			wrow := wd[i*cols : (i+1)*cols]
 			scale := 2 * od[i] / float64(counts[i])
 			for k, wv := range wrow {
-				if wv != 0 {
+				if wv != 0 { //lint:ignore floateq zero weight means no synapse; pruned weights are exactly 0 by construction
 					gd[k] += scale * (wv*xd[k] - means[i]) * wv
 				}
 			}

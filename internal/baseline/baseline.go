@@ -243,7 +243,7 @@ func AdversarialPerturb(net *snn.Network, sample *tensor.Tensor, label int, flip
 		// A flip increases the loss when the gradient points away from
 		// the current bit value: positive gradient on a 0-bit (set it),
 		// negative gradient on a 1-bit (clear it).
-		if (dd[i] == 0 && g > 0) || (dd[i] == 1 && g < 0) {
+		if (dd[i] == 0 && g > 0) || (dd[i] == 1 && g < 0) { //lint:ignore floateq input bits are exactly 0 or 1 by construction
 			order = append(order, scored{i, math.Abs(g)})
 		}
 	}

@@ -345,7 +345,7 @@ func calibrateCandidate(net *snn.Network, cfg *Config, rng *rand.Rand, t, budget
 			return c, err
 		}
 		l1 := L1(res)
-		if l1.Value.Data()[0] == 0 {
+		if l1.Value.Data()[0] == 0 { //lint:ignore floateq L1 sums binary spikes; exact zero means no output spike at all
 			c.success = true
 			c.minL1 = 0
 			return c, nil

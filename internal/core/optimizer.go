@@ -175,8 +175,8 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 		// that cannot reach O^L is undetectable, so L1 dominates), then
 		// newly activated target neurons, then the aggregate loss.
 		better := l1Val < bestL1 ||
-			(l1Val == bestL1 && newCount > bestNew) ||
-			(l1Val == bestL1 && newCount == bestNew && lossVal < best.loss)
+			(l1Val == bestL1 && newCount > bestNew) || //lint:ignore floateq lexicographic tie-break on deterministically recomputed loss values
+			(l1Val == bestL1 && newCount == bestNew && lossVal < best.loss) //lint:ignore floateq lexicographic tie-break on deterministically recomputed loss values
 		if better {
 			bestL1, bestNew = l1Val, newCount
 			best = stageOutcome{
@@ -223,7 +223,7 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 		mismatch := OutputMismatch(res, ref)
 		total := ag.Add(l5, ag.Scale(mismatch, o.cfg.MismatchWeight))
 
-		if mismatch.Value.Data()[0] == 0 && l5.Value.Data()[0] < bestTraffic {
+		if mismatch.Value.Data()[0] == 0 && l5.Value.Data()[0] < bestTraffic { //lint:ignore floateq mismatch counts differing binary spikes; exact zero means identical trains
 			rec := res.ToRecord(o.net)
 			act := rec.ActivatedNeurons(offsets, 1)
 			if containsAll(act, incumbent.activated) {
@@ -270,12 +270,14 @@ func containsAll(set, subset map[int]bool) bool {
 
 // countMasked counts activated neurons that lie inside the mask (the
 // newly activated members of N_T).
+//
+//snn:hotpath
 func countMasked(act map[int]bool, mask *LayerMask, offsets []int, net *snn.Network) int {
 	n := 0
 	for li, l := range net.Layers {
 		mv := mask.maskFor(li)
 		for j := 0; j < l.NumNeurons(); j++ {
-			if (mv == nil || mv.Data()[j] == 1) && act[offsets[li]+j] {
+			if (mv == nil || mv.Data()[j] == 1) && act[offsets[li]+j] { //lint:ignore floateq layer masks hold exactly 0 or 1
 				n++
 			}
 		}

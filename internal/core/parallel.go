@@ -115,7 +115,7 @@ func runRestarts(ctx context.Context, net *snn.Network, cfg *Config, iterSeed in
 		}
 		winner.run++
 		n := newTargets(s.best.activated, target)
-		if s.best.loss < bestLoss || (s.best.loss == bestLoss && n > bestNew) {
+		if s.best.loss < bestLoss || (s.best.loss == bestLoss && n > bestNew) { //lint:ignore floateq lexicographic tie-break on deterministically recomputed loss values
 			bestLoss, bestNew = s.best.loss, n
 			winner.opt, winner.best, winner.growths, winner.idx = s.opt, s.best, s.growths, r
 		}

@@ -356,7 +356,7 @@ func fillSplits(classes int, cfg Config, gen func(label int) Sample) (train, tes
 func dropoutEvents(rng *rand.Rand, ev *tensor.Tensor, p float64) {
 	d := ev.Data()
 	for i, v := range d {
-		if v == 1 && rng.Float64() < p {
+		if v == 1 && rng.Float64() < p { //lint:ignore floateq event frames hold exactly 0 or 1
 			d[i] = 0
 		}
 	}

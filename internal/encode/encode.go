@@ -88,7 +88,7 @@ func FirstSpikeTimes(stim *tensor.Tensor) []int {
 	sd := stim.Data()
 	for t := 0; t < steps; t++ {
 		for i := 0; i < frame; i++ {
-			if sd[t*frame+i] == 1 && out[i] == -1 {
+			if sd[t*frame+i] == 1 && out[i] == -1 { //lint:ignore floateq stimulus spikes are exactly 0 or 1
 				out[i] = t
 			}
 		}

@@ -120,7 +120,7 @@ func RenderFig9(w io.Writer, p *Pipeline, d Fig9Data, bins int) error {
 			}
 		}
 	}
-	if maxDiff == 0 {
+	if maxDiff == 0 { //lint:ignore floateq max of spike-count differences; exact zero means no fault detected anywhere
 		_, err := fmt.Fprintln(w, "(no detected faults)")
 		return err
 	}

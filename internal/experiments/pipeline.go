@@ -123,7 +123,7 @@ func NewPipeline(benchmark string, opts Options) (*Pipeline, error) {
 	}
 	trainIn, trainLab := ds.Inputs("train")
 	lr := opts.TrainLR
-	if lr == 0 {
+	if lr == 0 { //lint:ignore floateq 0 is the documented unset sentinel for TrainLR
 		// Longer BPTT windows accumulate larger gradients; scale the step
 		// size down with the sample duration.
 		lr = 0.6 / float64(steps)

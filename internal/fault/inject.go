@@ -114,8 +114,10 @@ func (inj *Injector) Apply(f Fault) (revert func()) {
 // memory: the weight is quantized with the layer's max|w| mapped to 127,
 // the requested bit of the two's-complement code is flipped, and the
 // result is dequantized. Bit 7 is the sign bit.
+//
+//snn:hotpath
 func flipQuantizedBit(w float64, bit int, maxAbs float64) float64 {
-	if maxAbs == 0 {
+	if maxAbs == 0 { //lint:ignore floateq degenerate all-zero weight matrix guard; max|w| is exactly 0 only then
 		return w
 	}
 	scale := maxAbs / 127

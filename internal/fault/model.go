@@ -105,7 +105,7 @@ func (f Fault) StartLayer() int { return f.Layer }
 
 func (f Fault) String() string {
 	if f.Kind.IsNeuron() {
-		if f.Delta != 0 {
+		if f.Delta != 0 { //lint:ignore floateq 0 is the unset sentinel for Delta in display formatting
 			return fmt.Sprintf("%s L%d N%d Δ=%g", f.Kind, f.Layer, f.Neuron, f.Delta)
 		}
 		return fmt.Sprintf("%s L%d N%d", f.Kind, f.Layer, f.Neuron)

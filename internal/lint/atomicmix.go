@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicmix guards the lock-free observability registry and the
+// campaign progress counters: a variable or struct field whose address
+// is passed to a sync/atomic function anywhere in the package must never
+// be read or written plainly elsewhere in the package. Mixing atomic and
+// plain accesses to the same word is a data race even when each access
+// looks innocent in isolation — the plain access carries no
+// happens-before edge, so the race detector (and weaker hardware) can
+// observe torn or stale values. Fields of the atomic.Int64-style wrapper
+// types are immune by construction (the raw word is unexported) and are
+// not tracked. The check is per-package: an unexported field cannot be
+// accessed from outside its package, and the repo keeps exported state
+// behind accessor methods.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain reads/writes of variables that are accessed via sync/atomic elsewhere",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(p *Pass) {
+	// Phase 1: collect every object whose address flows into a
+	// sync/atomic call, and the identifier nodes appearing inside those
+	// calls (excluded from the plain-access scan).
+	atomicObjs := make(map[types.Object]bool)
+	inAtomic := make(map[*ast.Ident]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if obj := addrTarget(p, ue.X); obj != nil {
+					atomicObjs[obj] = true
+				}
+				markIdents(arg, inAtomic)
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	// Phase 2: any other use of those objects is a plain access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomic[id] {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			p.Reportf(id.Pos(), "%s is accessed via sync/atomic elsewhere in this package; a plain read/write races with the atomic accesses — use the atomic API (or an atomic.* typed field) consistently", id.Name)
+			return true
+		})
+	}
+}
+
+// addrTarget resolves the object whose address is being taken: the field
+// object for selector expressions (x.f, possibly nested), the variable
+// object for plain identifiers; nil for anything else (index
+// expressions, temporaries).
+func addrTarget(p *Pass, e ast.Expr) types.Object {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[t]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[t]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[t.Sel]
+	}
+	return nil
+}
+
+// markIdents records every identifier under e.
+func markIdents(e ast.Expr, set map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}

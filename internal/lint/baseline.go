@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BaselineEntry identifies one accepted pre-existing finding. Line and
+// column are deliberately omitted: baselines must survive unrelated
+// edits shifting code around, so a finding is matched by analyzer,
+// module-relative file and exact message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Message  string `json:"message"`
+}
+
+// Baseline is a set of accepted findings loaded from a -baseline file.
+// It lets a new analyzer land strict (enforced for all new code) while
+// the recorded debt is burned down separately: matching findings are
+// filtered from the run's output and counted in Stats.Baselined.
+type Baseline struct {
+	entries map[BaselineEntry]int // entry → allowed count
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries). A
+// missing file is an error: passing -baseline means the caller relies on
+// it, and silently running without one would hide every baselined
+// finding as a new regression.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: make(map[BaselineEntry]int, len(entries))}
+	for _, e := range entries {
+		b.entries[e]++
+	}
+	return b, nil
+}
+
+// apply filters diags through the baseline: each baseline entry absorbs
+// up to its recorded count of matching findings. It returns the
+// survivors and the number filtered.
+func (b *Baseline) apply(modDir string, diags []Diagnostic) (kept []Diagnostic, baselined int) {
+	if b == nil || len(b.entries) == 0 {
+		return diags, 0
+	}
+	budget := make(map[BaselineEntry]int, len(b.entries))
+	for e, n := range b.entries {
+		budget[e] = n
+	}
+	kept = diags[:0:0]
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: relPath(modDir, d.File), Message: d.Message}
+		if budget[e] > 0 {
+			budget[e]--
+			baselined++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, baselined
+}
+
+// WriteBaseline records the given findings as the accepted baseline at
+// path, with module-relative file paths.
+func WriteBaseline(path, modDir string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, BaselineEntry{Analyzer: d.Analyzer, File: relPath(modDir, d.File), Message: d.Message})
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// relPath relativizes file against modDir, returning a slash-separated
+// path (file unchanged when not below modDir).
+func relPath(modDir, file string) string {
+	if rel, err := filepath.Rel(modDir, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

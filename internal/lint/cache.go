@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheSchema versions the on-disk cache format; bump it when the entry
+// layout or diagnostic semantics change incompatibly.
+const cacheSchema = "snnlint-cache-v1"
+
+// cacheEntry is one package's analysis outcome, keyed by the action ID
+// that produced it. Diagnostics are stored with module-relative paths so
+// the cache survives a checkout move.
+type cacheEntry struct {
+	Action     string       `json:"action"`
+	Diags      []Diagnostic `json:"diags"`
+	Suppressed int          `json:"suppressed"`
+}
+
+// Cache is the persistent per-package diagnostics cache. It maps package
+// import paths to the action ID (content hash of the package, its
+// transitive module-internal dependencies, the analyzer suite and the
+// toolchain) that produced the stored diagnostics, so a package whose
+// action ID is unchanged is served without parsing bodies, type-checking
+// or running analyzers.
+type Cache struct {
+	path    string
+	entries map[string]cacheEntry
+	dirty   bool
+}
+
+// cacheFile is the on-disk representation.
+type cacheFile struct {
+	Schema  string                `json:"schema"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// OpenCache loads the cache at path; a missing, unreadable or
+// schema-mismatched file yields an empty cache (the cache is a pure
+// accelerator — corruption means a cold run, never an error).
+func OpenCache(path string) *Cache {
+	c := &Cache{path: path, entries: make(map[string]cacheEntry)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f cacheFile
+	if json.Unmarshal(data, &f) != nil || f.Schema != cacheSchema {
+		return c
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c
+}
+
+// get returns the cached diagnostics for pkgPath when the stored action
+// ID matches, with file paths re-anchored at modDir.
+func (c *Cache) get(modDir, pkgPath, action string) (diags []Diagnostic, suppressed int, ok bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	e, found := c.entries[pkgPath]
+	if !found || e.Action != action {
+		return nil, 0, false
+	}
+	diags = make([]Diagnostic, len(e.Diags))
+	for i, d := range e.Diags {
+		d.File = filepath.Join(modDir, filepath.FromSlash(d.File))
+		diags[i] = d
+	}
+	return diags, e.Suppressed, true
+}
+
+// put stores a package's freshly computed diagnostics, relativizing file
+// paths against modDir.
+func (c *Cache) put(modDir, pkgPath, action string, diags []Diagnostic, suppressed int) {
+	if c == nil {
+		return
+	}
+	stored := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(modDir, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		stored[i] = d
+	}
+	c.entries[pkgPath] = cacheEntry{Action: action, Diags: stored, Suppressed: suppressed}
+	c.dirty = true
+}
+
+// Save writes the cache back to disk atomically (temp file + rename).
+// A clean cache is not rewritten.
+func (c *Cache) Save() error {
+	if c == nil || !c.dirty {
+		return nil
+	}
+	out, err := json.MarshalIndent(cacheFile{Schema: cacheSchema, Entries: c.entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+// suiteFingerprint digests everything besides package content that can
+// change analysis results: the cache schema, the Go toolchain, the
+// analyzer names in order, and — crucially — the content hash of the
+// lint package itself, so editing any analyzer invalidates every cached
+// entry without manual version bumps.
+func suiteFingerprint(mod *Module, analyzers []*Analyzer) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", cacheSchema, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s\x00", a.Name)
+	}
+	if self, ok := mod.byPath[mod.Path+"/internal/lint"]; ok {
+		fmt.Fprintf(h, "self:%s\x00", self.hash)
+	}
+	fmt.Fprintf(h, "gomod:%x\x00", sha256.Sum256([]byte(mod.GoMod)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// actionIDs computes, for every package of the module, the hash of its
+// content, its transitive module-internal dependencies' content and the
+// suite fingerprint. Packages are visited in topological order so each
+// dependency's action ID exists before its dependents'.
+func actionIDs(mod *Module, fingerprint string) map[*Package]string {
+	ids := make(map[*Package]string, len(mod.Pkgs))
+	for _, pkg := range mod.Pkgs {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", fingerprint, pkg.Path, pkg.hash)
+		deps := append([]string(nil), pkg.deps...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			fmt.Fprintf(h, "%s\x00", ids[mod.byPath[dep]])
+		}
+		ids[pkg] = hex.EncodeToString(h.Sum(nil))
+	}
+	return ids
+}

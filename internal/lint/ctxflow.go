@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow catches the span-parenting and cancellation bugs the
+// observability layer is prone to: a function that receives a
+// context.Context must thread that context into its module-internal
+// callees — passing context.Background() or context.TODO() (or a nil
+// context) instead silently detaches the callee from the caller's span
+// tree and cancellation, which is exactly the class of bug PRs 3–5
+// fixed by hand in the generator and campaign plumbing. Calls into
+// other modules (stdlib included) are not checked: detaching is
+// sometimes the point at a process boundary, and the repo's invariant
+// is about its own span tree.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags ctx-receiving functions that pass context.Background/TODO/nil to module-internal callees",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(p, fd) {
+				continue
+			}
+			checkCtxFlow(p, fd)
+		}
+	}
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter (named, blank or unnamed).
+func hasCtxParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(typeOf(p.Info, field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtxFlow(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || !moduleInternalFunc(p, fn) {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() || !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			switch c := callOrNil(arg); {
+			case c != nil && (isCallTo(p, c, "context.Background") || isCallTo(p, c, "context.TODO")):
+				p.Reportf(arg.Pos(), "%s receives a context but passes a fresh %s to %s; thread the incoming context so spans parent and cancellation propagates", fd.Name.Name, ctxCallString(arg), fn.Name())
+			case isNilExpr(p, arg):
+				p.Reportf(arg.Pos(), "%s receives a context but passes nil to %s; thread the incoming context", fd.Name.Name, fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// callOrNil returns e as a call expression, or nil (isCallTo tolerates
+// nil).
+func callOrNil(e ast.Expr) *ast.CallExpr {
+	call, _ := ast.Unparen(e).(*ast.CallExpr)
+	return call
+}
+
+// isNilExpr reports whether e is the untyped nil.
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// ctxCallString renders short call expressions like context.Background().
+func ctxCallString(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok {
+				return x.Name + "." + sel.Sel.Name + "()"
+			}
+		}
+	}
+	return "context"
+}

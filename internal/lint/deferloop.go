@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Deferloop flags defer statements lexically inside for/range loops:
+// deferred calls run at function exit, not loop-iteration exit, so a
+// defer in a loop accumulates one pending call per iteration — in the
+// campaign and replay loops that means thousands of pending reverts and
+// unbounded memory growth before a single one runs. A defer inside a
+// func literal defined in the loop is fine (it runs when the closure
+// returns), and is not flagged.
+var Deferloop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "flags defer statements inside for/range loops (they run at function exit, not per iteration)",
+	Run:  runDeferloop,
+}
+
+func runDeferloop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			reportLoopDefers(p, body)
+			return true
+		})
+	}
+}
+
+// reportLoopDefers walks one loop body, flagging defers but not
+// descending into nested function literals (their defers are scoped to
+// the closure) or nested loops (each loop is visited by the outer
+// Inspect in its own right, so descending would double-report).
+func reportLoopDefers(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == ast.Node(body) {
+			return true
+		}
+		switch d := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.DeferStmt:
+			p.Reportf(d.Pos(), "defer inside a loop runs at function exit, not per iteration; call the cleanup directly or wrap the body in a function")
+		}
+		return true
+	})
+}

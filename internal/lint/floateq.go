@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floateq bans == and != on floating-point operands outside the tensor
+// package: exact float equality is how nondeterminism sneaks past the
+// Equiv gates — a value that is bit-identical on one code path can
+// differ in the last ulp after an algebraically equivalent refactor, so
+// comparisons must go through the tensor equality helpers
+// (tensor.Equal, tensor.RowEqual) or an explicit epsilon. The tensor
+// package itself is exempt: it is where the repo's equality semantics
+// (including the deliberate bit-exact golden-trace comparisons) are
+// defined and audited. Test files are never loaded by the module walk.
+// Comparisons that are genuinely exact (spike trains are 0/1 by
+// construction, 0 as a documented unset sentinel) carry a
+// //lint:ignore floateq directive with the justification.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on float operands outside internal/tensor's audited equality helpers",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	if strings.HasSuffix(p.Path, "/internal/tensor") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloatType(typeOf(p.Info, be.X)) || isFloatType(typeOf(p.Info, be.Y)) {
+				p.Reportf(be.Pos(), "float %s comparison; use tensor.Equal/RowEqual or an explicit epsilon (exact float equality breaks determinism hygiene)", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloatType reports whether t's underlying type is a floating-point
+// (or complex) basic type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

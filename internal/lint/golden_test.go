@@ -52,6 +52,11 @@ var goldenCases = []struct {
 	{StdlibOnly, "github.com/repro/snntest/lintfixture/stdlibonlyfix", false},
 	{Spanend, "github.com/repro/snntest/lintfixture/spanendfix", true},
 	{Metricname, "github.com/repro/snntest/lintfixture/metricnamefix", true},
+	{Hotpathalloc, "github.com/repro/snntest/lintfixture/hotpathallocfix", true},
+	{Atomicmix, "github.com/repro/snntest/lintfixture/atomicmixfix", true},
+	{Ctxflow, "github.com/repro/snntest/lintfixture/ctxflowfix", true},
+	{Floateq, "github.com/repro/snntest/lintfixture/floateqfix", true},
+	{Deferloop, "github.com/repro/snntest/lintfixture/deferloopfix", true},
 }
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)

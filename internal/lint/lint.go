@@ -16,10 +16,25 @@
 //     enclosing function (leaked spans corrupt trace trees),
 //   - metricname: obs metric registrations use constant snake_case
 //     subsystem_noun_unit names with the kind's unit suffix, so the
-//     /metrics exposition stays valid and self-describing.
+//     /metrics exposition stays valid and self-describing,
+//   - hotpathalloc: //snn:hotpath functions contain no heap
+//     allocations, directly or one module-internal call deep,
+//   - atomicmix: a variable accessed via sync/atomic is never read or
+//     written plainly elsewhere in its package,
+//   - ctxflow: a ctx-receiving function threads its context into
+//     module-internal callees instead of minting Background/TODO,
+//   - floateq: no ==/!= on float operands outside internal/tensor's
+//     audited equality helpers,
+//   - deferloop: no defer statements inside for/range loops.
 //
-// The cmd/snnlint CLI drives these over the whole module; verify.sh
-// wires them into the tier-1+ gate.
+// The cmd/snnlint CLI drives these over the whole module through the
+// incremental parallel driver (AnalyzeModule): per-package diagnostics
+// are cached keyed by a content-hash action ID, unchanged packages skip
+// parsing and type-checking entirely, and the rest are type-checked and
+// analyzed concurrently with deterministic, worker-count-independent
+// output. Findings are filtered through //lint:ignore suppression
+// directives (with an unused-directive check) and an optional accepted-
+// findings baseline. verify.sh wires the suite into the tier-1+ gate.
 package lint
 
 import (
@@ -27,7 +42,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -77,48 +94,64 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly, Spanend, Metricname}
+	return []*Analyzer{
+		Rawdata, Panicfree, Determinism, Goroutinejoin, ErrcheckLite, StdlibOnly, Spanend, Metricname,
+		Hotpathalloc, Atomicmix, Ctxflow, Floateq, Deferloop,
+	}
 }
 
-// Run applies the analyzers to every package of the module plus the
-// module-level go.mod dependency check, returning diagnostics sorted by
-// file, line and column.
+// Run applies the analyzers to every package of a fully loaded module
+// (see LoadModule) plus the module-level go.mod dependency check,
+// honoring //lint:ignore suppressions, and returns diagnostics sorted by
+// file, line and column. Packages are analyzed concurrently; the output
+// is identical to a serial run. Incremental callers with a cache use
+// AnalyzeModule instead.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	workers := runtime.GOMAXPROCS(0)
+	perPkg := make([][]Diagnostic, len(mod.Pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range mod.Pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			raw := analyzePackage(mod, pkg, analyzers)
+			perPkg[i], _ = applySuppressions(mod, pkg, raw)
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range mod.Pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:     mod.Fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Module:   mod,
-				analyzer: a,
-				diags:    &diags,
-			}
-			a.Run(pass)
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	for _, a := range analyzers {
 		if a == StdlibOnly {
 			diags = append(diags, goModDiagnostics(mod)...)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	sort.Slice(diags, func(i, j int) bool { return diagLess(diags[i], diags[j]) })
 	return diags
+}
+
+// diagLess is the canonical diagnostic order: file, line, column,
+// analyzer, message — a total order, so sorted output is deterministic
+// even when two analyzers flag the same position.
+func diagLess(a, b Diagnostic) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }
 
 // RunPackage applies one analyzer to a single package — the golden-test

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SuppressAnalyzer is the analyzer name attached to diagnostics produced
+// by the suppression machinery itself (malformed and unused directives).
+// It is driver-level, not part of All(): directives are a property of
+// the finding pipeline, not of any one analysis.
+const SuppressAnalyzer = "suppress"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file     string
+	line     int // line the directive appears on
+	target   int // line whose diagnostics it suppresses
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const directivePrefix = "lint:ignore"
+
+// parseDirectives scans the package's comments for
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// directives. A trailing directive (code before it on the same line)
+// suppresses matching diagnostics on its own line; a directive alone on
+// a line suppresses the line below it. Malformed directives (missing
+// analyzer or reason) are reported as findings — a suppression without a
+// recorded reason defeats the audit trail the mechanism exists for.
+func parseDirectives(mod *Module, pkg *Package, report func(Diagnostic)) []*directive {
+	var dirs []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				d := &directive{file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Analyzer: SuppressAnalyzer,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				d.analyzer = fields[0]
+				d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0]))
+				d.target = d.line
+				if ownLine(pkg, pos.Filename, pos.Line, pos.Column) {
+					d.target = d.line + 1
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// ownLine reports whether the directive at (file, line, col) has only
+// whitespace before it on its line, i.e. it is not trailing code.
+func ownLine(pkg *Package, file string, line, col int) bool {
+	src, ok := pkg.srcs[file]
+	if !ok {
+		return false
+	}
+	// Find the start of the directive's line.
+	lines := bytes.Split(src, []byte("\n"))
+	if line-1 >= len(lines) {
+		return false
+	}
+	prefix := lines[line-1]
+	if col-1 <= len(prefix) {
+		prefix = prefix[:col-1]
+	}
+	return len(bytes.TrimSpace(prefix)) == 0
+}
+
+// applySuppressions filters diags through the package's //lint:ignore
+// directives: a diagnostic whose analyzer and line match a directive is
+// dropped (and the directive marked used). It returns the surviving
+// diagnostics, appending one finding per unused directive — a directive
+// that suppresses nothing is dead weight that would silently mask a
+// future regression at a different line, so it must be deleted or
+// updated. The returned count is the number of suppressed findings.
+func applySuppressions(mod *Module, pkg *Package, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	var dirDiags []Diagnostic
+	dirs := parseDirectives(mod, pkg, func(d Diagnostic) { dirDiags = append(dirDiags, d) })
+	if len(dirs) == 0 && len(dirDiags) == 0 {
+		return diags, 0
+	}
+	byKey := make(map[string][]*directive)
+	for _, d := range dirs {
+		key := fmt.Sprintf("%s\x00%d\x00%s", d.file, d.target, d.analyzer)
+		byKey[key] = append(byKey[key], d)
+	}
+	kept = diags[:0:0]
+	for _, dg := range diags {
+		key := fmt.Sprintf("%s\x00%d\x00%s", dg.File, dg.Line, dg.Analyzer)
+		if ds := byKey[key]; len(ds) > 0 {
+			for _, d := range ds {
+				d.used = true
+			}
+			suppressed++
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	for _, d := range dirs {
+		if !d.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: SuppressAnalyzer,
+				File:     d.file,
+				Line:     d.line,
+				Message:  fmt.Sprintf("unused //lint:ignore directive for %s (no matching finding on line %d)", d.analyzer, d.target),
+			})
+		}
+	}
+	kept = append(kept, dirDiags...)
+	sort.Slice(kept, func(i, j int) bool { return diagLess(kept[i], kept[j]) })
+	return kept, suppressed
+}

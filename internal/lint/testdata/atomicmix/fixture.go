@@ -1,0 +1,66 @@
+// Golden fixture for the atomicmix analyzer: a variable or field whose
+// address is passed to a sync/atomic function must never be read or
+// written plainly in the same package. Fields wrapped in atomic.Int64
+// style types and mutex-guarded plain fields are clean.
+package atomicmixfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type progress struct {
+	done  int64
+	total int64
+}
+
+func (p *progress) bump() {
+	atomic.AddInt64(&p.done, 1)
+}
+
+func (p *progress) read() int64 {
+	return atomic.LoadInt64(&p.done)
+}
+
+func (p *progress) badPlainRead() int64 {
+	return p.done // want "accessed via sync/atomic elsewhere"
+}
+
+func (p *progress) badPlainWrite() {
+	p.done = 0 // want "accessed via sync/atomic elsewhere"
+}
+
+// total is only ever accessed plainly; no findings.
+func (p *progress) setTotal(n int64) {
+	p.total = n
+}
+
+var sharedFlag uint32
+
+func setShared() {
+	atomic.StoreUint32(&sharedFlag, 1)
+}
+
+func badPlainPackageVar() bool {
+	return sharedFlag == 1 // want "accessed via sync/atomic elsewhere"
+}
+
+// wrapped uses the typed atomic API; the raw word is unexported inside
+// atomic.Int64, so mixing is impossible by construction.
+type wrapped struct {
+	n  atomic.Int64
+	mu sync.Mutex
+	m  int64
+}
+
+func (w *wrapped) okTyped() int64 {
+	w.n.Add(1)
+	return w.n.Load()
+}
+
+func (w *wrapped) okMutexGuarded() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m++
+	return w.m
+}

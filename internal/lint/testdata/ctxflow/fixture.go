@@ -1,0 +1,48 @@
+// Golden fixture for the ctxflow analyzer: a function that receives a
+// context.Context must thread it into module-internal callees — minting
+// context.Background()/TODO() or passing nil detaches spans and
+// cancellation. Functions without a ctx parameter may mint roots freely.
+package ctxflowfix
+
+import "context"
+
+func step(ctx context.Context, n int) int {
+	if ctx == nil {
+		return 0
+	}
+	return n + 1
+}
+
+func run(ctx context.Context, n int) int {
+	return step(ctx, n) // threaded: clean
+}
+
+func badBackground(ctx context.Context, n int) int {
+	return step(context.Background(), n) // want "passes a fresh context.Background()"
+}
+
+func badTODO(ctx context.Context, n int) int {
+	return step(context.TODO(), n) // want "passes a fresh context.TODO()"
+}
+
+func badNil(ctx context.Context, n int) int {
+	return step(nil, n) // want "passes nil"
+}
+
+func badDerivedElsewhere(ctx context.Context, n int) int {
+	a := step(ctx, n)
+	b := step(context.Background(), n) // want "passes a fresh context.Background()"
+	return a + b
+}
+
+// okRoot has no incoming context, so minting a root is the only option.
+func okRoot(n int) int {
+	return step(context.Background(), n)
+}
+
+// okDerived passes a child of the incoming context: clean.
+func okDerived(ctx context.Context, n int) int {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return step(child, n)
+}

@@ -1,0 +1,46 @@
+// Golden fixture for the deferloop analyzer: a defer inside a for or
+// range loop only fires when the enclosing function returns, so
+// per-iteration resources pile up. Defers at function scope or inside a
+// per-iteration closure are the clean patterns.
+package deferloopfix
+
+import "sync"
+
+func badForLoop(mus []*sync.Mutex) {
+	for i := 0; i < len(mus); i++ {
+		mus[i].Lock()
+		defer mus[i].Unlock() // want "defer inside a loop"
+	}
+}
+
+func badRangeLoop(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() // want "defer inside a loop"
+	}
+}
+
+func badNestedLoop(grid [][]*sync.Mutex) {
+	for _, row := range grid {
+		for _, mu := range row {
+			mu.Lock()
+			defer mu.Unlock() // want "defer inside a loop"
+		}
+	}
+}
+
+func okFunctionScope(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// okClosurePerIteration scopes each defer to one iteration's closure —
+// the canonical fix.
+func okClosurePerIteration(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}

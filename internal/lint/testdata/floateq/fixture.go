@@ -1,0 +1,51 @@
+// Golden fixture for the floateq analyzer: == and != on floating-point
+// (or complex) operands are flagged everywhere outside internal/tensor.
+// Ordered comparisons, integer equality and epsilon-band checks stay
+// clean.
+package floateqfix
+
+import "math"
+
+const eps = 1e-9
+
+func badEq(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want "float != comparison"
+}
+
+func badLiteral(x float64) bool {
+	return x == 0.5 // want "float == comparison"
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want "float == comparison"
+}
+
+func badInRange(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x != 0 { // want "float != comparison"
+			n++
+		}
+	}
+	return n
+}
+
+func okEpsilon(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func okOrdered(a, b float64) bool {
+	return a < b || a > b
+}
+
+func okInt(a, b int) bool {
+	return a == b
+}
+
+func okNaNCheck(x float64) bool {
+	return math.IsNaN(x)
+}

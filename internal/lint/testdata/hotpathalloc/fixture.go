@@ -1,0 +1,100 @@
+// Golden fixture for the hotpathalloc analyzer: //snn:hotpath functions
+// must not allocate — make/new/append, composite literals, closures,
+// interface boxing and variadic materialization are flagged, one
+// module-internal call deep; error branches ending in panic helpers are
+// exempt, and unannotated functions are never checked.
+package hotpathallocfix
+
+type state struct {
+	u []float64
+}
+
+func failf(format string, args ...any) {
+	panic(format)
+}
+
+// helperAllocates is module-internal and not a hot path itself, but a
+// hot-path caller inherits its allocation one level deep.
+func helperAllocates(n int) []float64 {
+	return make([]float64, n) // no direct finding: not annotated
+}
+
+// helperClean is safe to call from hot paths.
+func helperClean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//snn:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want "a make call"
+}
+
+//snn:hotpath
+func badNewAndLit() *state {
+	s := new(state)    // want "a new call"
+	s.u = []float64{1} // want "a composite literal"
+	return s
+}
+
+//snn:hotpath
+func badAppend(xs []float64, v float64) []float64 {
+	return append(xs, v) // want "an append"
+}
+
+//snn:hotpath
+func badClosure(xs []float64) float64 {
+	f := func() float64 { return xs[0] } // want "a closure"
+	return f()
+}
+
+//snn:hotpath
+func badBoxing(v float64) any {
+	var out any = v // want "an interface conversion"
+	return out
+}
+
+//snn:hotpath
+func badVariadic(xs []float64) {
+	failf("oops %v", xs) // want "a variadic call" // want "an interface conversion"
+}
+
+//snn:hotpath
+func badCallsAllocator(n int) float64 {
+	xs := helperAllocates(n) // want "calls helperAllocates, which contains a make call"
+	return xs[0]
+}
+
+//snn:hotpath
+func okCleanKernel(st *state, cd []float64) float64 {
+	acc := 0.0
+	for i := range cd {
+		st.u[i] += cd[i]
+		acc += st.u[i]
+	}
+	return acc + helperClean(cd)
+}
+
+//snn:hotpath
+func okFailBranch(xs []float64) float64 {
+	if len(xs) == 0 {
+		failf("empty input %v", xs) // exempt: error branch terminates in a panic helper
+	}
+	return xs[0]
+}
+
+//snn:hotpath
+func okSpreadVariadic(args []any) {
+	if len(args) > 99 {
+		failf("too many: %v", args...) // exempt error branch; spread does not materialize
+	}
+}
+
+// notAnnotated allocates freely without findings.
+func notAnnotated(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}

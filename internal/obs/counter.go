@@ -27,6 +27,8 @@ type Counter struct {
 func (c *Counter) Name() string { return c.name }
 
 // Add increments the counter by n.
+//
+//snn:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Set stores an absolute value. Prefer Gauge for level-style metrics;
@@ -34,6 +36,8 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 func (c *Counter) Set(n int64) { c.v.Store(n) }
 
 // Value returns the current value.
+//
+//snn:hotpath
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a lock-free named level metric: a value that goes up and
@@ -49,10 +53,14 @@ type Gauge struct {
 func (g *Gauge) Name() string { return g.name }
 
 // Set stores the gauge's absolute value.
+//
+//snn:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by delta (negative to decrease) and returns the
 // new value, so inflight-style gauges can pair Add(1)/Add(-1).
+//
+//snn:hotpath
 func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
 
 // Value returns the current value.

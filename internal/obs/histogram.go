@@ -35,6 +35,8 @@ func (h *TimingHistogram) Name() string { return h.name }
 // Observe records one duration. Negative durations are clamped to zero
 // (the monotonic clock cannot go backwards, but a defensive clamp keeps
 // the sum monotone under caller bugs).
+//
+//snn:hotpath
 func (h *TimingHistogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0

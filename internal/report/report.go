@@ -173,8 +173,8 @@ func FrameSnapshot(w io.Writer, frame *tensor.Tensor, label string) error {
 	for y := 0; y < h; y++ {
 		var b strings.Builder
 		for x := 0; x < wd; x++ {
-			on := frame.At(0, y, x) == 1
-			off := frame.At(1, y, x) == 1
+			on := frame.At(0, y, x) == 1  //lint:ignore floateq event frames hold exactly 0 or 1
+			off := frame.At(1, y, x) == 1 //lint:ignore floateq event frames hold exactly 0 or 1
 			switch {
 			case on && off:
 				b.WriteByte('*')

@@ -1,0 +1,51 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStepLayerZeroAlloc pins the //snn:hotpath contract of the LIF step
+// kernel with the runtime's own accounting: one layer step on prebuilt
+// Scratch state must not allocate. The static side of the same contract
+// is enforced by snnlint's hotpathalloc analyzer; this test catches what
+// escape analysis decides at compile time, which no AST walk can.
+func TestStepLayerZeroAlloc(t *testing.T) {
+	net := must(BuildNMNIST(rand.New(rand.NewSource(7)), ScaleTiny))
+	sc := net.NewScratch()
+	l := net.Layers[0]
+	nn := l.NumNeurons()
+	st := sc.states[0]
+	cd := make([]float64, nn)
+	out := make([]float64, nn)
+	for i := range cd {
+		cd[i] = float64(i%3) * 0.4
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		stepLayer(l, st, cd, out)
+	})
+	if allocs != 0 {
+		t.Errorf("stepLayer allocated %v times per step; the //snn:hotpath contract requires 0", allocs)
+	}
+}
+
+// TestRunFromAllocBaseline measures the full replay pass. It is not yet
+// zero-alloc — Projection.Forward materializes a fresh current tensor
+// per (layer, step) (ROADMAP: buffer-reusing forward path) — so the test
+// skips with the measured number rather than asserting, keeping the
+// measurement visible in -v runs until the kernel gets there.
+func TestRunFromAllocBaseline(t *testing.T) {
+	net := must(BuildNMNIST(rand.New(rand.NewSource(8)), ScaleTiny))
+	sc := net.NewScratch()
+	stim := benchStimulus(net, 10)
+	golden, _ := sc.RunFrom(0, nil, stim)
+	_ = golden
+
+	allocs := testing.AllocsPerRun(10, func() {
+		sc.RunFrom(0, nil, stim)
+	})
+	if allocs > 0 {
+		t.Skipf("full RunFrom pass allocates %v times per run (Projection.Forward materializes per-step tensors); not yet subject to the zero-alloc gate", allocs)
+	}
+}

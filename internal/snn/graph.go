@@ -113,7 +113,7 @@ func (n *Network) RunGraph(inputSteps []*ag.Node) *GraphResult {
 			for i := range st.refrac {
 				if st.refrac[i] > 0 {
 					st.refrac[i]--
-				} else if sv[i] == 1 {
+				} else if sv[i] == 1 { //lint:ignore floateq realized spikes are exactly 0 or 1
 					st.refrac[i] = l.LIF.Refractory
 				}
 			}

@@ -50,6 +50,8 @@ func (l *Layer) HasFaultOverrides() bool {
 }
 
 // mode returns the behavioural mode of neuron i.
+//
+//snn:hotpath
 func (l *Layer) mode(i int) NeuronMode {
 	if l.Modes == nil {
 		return NeuronNormal
@@ -58,22 +60,28 @@ func (l *Layer) mode(i int) NeuronMode {
 }
 
 // threshold returns the effective firing threshold of neuron i.
+//
+//snn:hotpath
 func (l *Layer) threshold(i int) float64 {
-	if l.Thresholds != nil && l.Thresholds[i] != 0 {
+	if l.Thresholds != nil && l.Thresholds[i] != 0 { //lint:ignore floateq 0 is the documented unset sentinel for per-neuron thresholds
 		return l.Thresholds[i]
 	}
 	return l.LIF.Threshold
 }
 
 // leak returns the effective membrane retention of neuron i.
+//
+//snn:hotpath
 func (l *Layer) leak(i int) float64 {
-	if l.Leaks != nil && l.Leaks[i] != 0 {
+	if l.Leaks != nil && l.Leaks[i] != 0 { //lint:ignore floateq 0 is the documented unset sentinel for per-neuron leaks
 		return l.Leaks[i]
 	}
 	return l.LIF.Leak
 }
 
 // refractory returns the effective refractory period of neuron i.
+//
+//snn:hotpath
 func (l *Layer) refractory(i int) int {
 	if l.Refracs != nil && l.Refracs[i] >= 0 {
 		return l.Refracs[i]

@@ -172,6 +172,8 @@ type fastLayerState struct {
 }
 
 // reset clears the state to the fresh-network condition.
+//
+//snn:hotpath
 func (st *fastLayerState) reset() {
 	for i := range st.u {
 		st.u[i] = 0
@@ -318,9 +320,9 @@ func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int, elapsed 
 	for li := start; li < len(s.net.Layers); li++ {
 		nn := s.net.Layers[li].NumNeurons()
 		for _, v := range rec.Layers[li].RawRange(0, simSteps*nn) {
-			if v != 0 {
-				spikes++
-			}
+			// Spikes are exactly 0 or 1 by construction; truncation counts
+			// them without a float comparison.
+			spikes += int64(v)
 		}
 	}
 	obsSpikes.Add(spikes)
@@ -328,6 +330,8 @@ func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int, elapsed 
 
 // stepLayer advances one layer by one time step: cd is the synaptic
 // current, out receives the output spikes, st carries the LIF state.
+//
+//snn:hotpath
 func stepLayer(l *Layer, st *fastLayerState, cd, out []float64) {
 	for i := range cd {
 		var s float64
@@ -346,13 +350,14 @@ func stepLayer(l *Layer, st *fastLayerState, cd, out []float64) {
 				gate = 0
 			}
 			u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + cd[i])
-			if u > l.threshold(i) {
+			fired := u > l.threshold(i)
+			if fired {
 				s = 1
 			}
 			st.u[i] = u
 			if st.refrac[i] > 0 {
 				st.refrac[i]--
-			} else if s == 1 {
+			} else if fired {
 				st.refrac[i] = l.refractory(i)
 			}
 		}

@@ -91,6 +91,8 @@ func Outer(g, x *Tensor) *Tensor {
 }
 
 // Dot returns the inner product of two equal-length tensors.
+//
+//snn:hotpath
 func Dot(a, b *Tensor) float64 {
 	if a.Len() != b.Len() {
 		failf("Dot length mismatch %v vs %v", a.shape, b.shape)

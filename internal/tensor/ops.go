@@ -137,6 +137,8 @@ func Clamp(a *Tensor, lo, hi float64) *Tensor {
 }
 
 // AddInPlace computes dst += src elementwise.
+//
+//snn:hotpath
 func AddInPlace(dst, src *Tensor) {
 	assertSameShape("AddInPlace", dst, src)
 	for i := range dst.data {
@@ -145,6 +147,8 @@ func AddInPlace(dst, src *Tensor) {
 }
 
 // SubInPlace computes dst -= src elementwise.
+//
+//snn:hotpath
 func SubInPlace(dst, src *Tensor) {
 	assertSameShape("SubInPlace", dst, src)
 	for i := range dst.data {
@@ -153,6 +157,8 @@ func SubInPlace(dst, src *Tensor) {
 }
 
 // MulInPlace computes dst *= src elementwise.
+//
+//snn:hotpath
 func MulInPlace(dst, src *Tensor) {
 	assertSameShape("MulInPlace", dst, src)
 	for i := range dst.data {
@@ -161,6 +167,8 @@ func MulInPlace(dst, src *Tensor) {
 }
 
 // ScaleInPlace computes dst *= s elementwise.
+//
+//snn:hotpath
 func ScaleInPlace(dst *Tensor, s float64) {
 	for i := range dst.data {
 		dst.data[i] *= s
@@ -168,6 +176,8 @@ func ScaleInPlace(dst *Tensor, s float64) {
 }
 
 // AddScaledInPlace computes dst += s*src elementwise (axpy).
+//
+//snn:hotpath
 func AddScaledInPlace(dst *Tensor, s float64, src *Tensor) {
 	assertSameShape("AddScaledInPlace", dst, src)
 	for i := range dst.data {

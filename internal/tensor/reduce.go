@@ -100,6 +100,8 @@ func L1Diff(a, b *Tensor) float64 {
 // treating the first axis as rows. It lets step-major spike records be
 // compared one time step at a time — the early-exit hot path of the
 // incremental fault campaign — without materializing per-row tensors.
+//
+//snn:hotpath
 func RowEqual(a, b *Tensor, r int) bool {
 	assertSameShape("RowEqual", a, b)
 	if len(a.shape) == 0 {

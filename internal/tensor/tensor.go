@@ -199,6 +199,8 @@ func (t *Tensor) Step(i int) *Tensor {
 // RawRange returns the bounds-checked window [start, start+n) of the
 // backing slice. Callers that need a raw float64 window (copy targets,
 // kernel interop) use it instead of re-deriving offsets on Data().
+//
+//snn:hotpath
 func (t *Tensor) RawRange(start, n int) []float64 {
 	// n is compared against the remaining length rather than start+n
 	// against the total, so a huge start+n cannot overflow past the check.
@@ -210,6 +212,8 @@ func (t *Tensor) RawRange(start, n int) []float64 {
 
 // ElemPtr returns a pointer to the element at flat offset off, for
 // in-place mutation hooks (e.g. fault injection into one weight).
+//
+//snn:hotpath
 func (t *Tensor) ElemPtr(off int) *float64 {
 	if off < 0 || off >= len(t.data) {
 		failf("ElemPtr offset %d out of range for %d elements", off, len(t.data))

@@ -11,7 +11,9 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
-go run ./cmd/snnlint ./...
+# The incremental driver caches per-package results keyed by content
+# hash: repeat verify runs skip re-analyzing unchanged packages.
+go run ./cmd/snnlint -cache .snnlint-cache.json ./...
 go test -race ./...
 # Gradient gate: finite-difference checks of every autograd op plus the
 # AST audit that fails when an op lacks a gradcheck case.
