@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchreport [-scale tiny|small|full] [-seed N] [-workers N] [-epochs N]
-//	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-all]
+//	            [-table 1|2|3|4] [-fig 7|8|9] [-ablations] [-forward] [-all]
 //	            [-bench nmnist,ibm-gesture,shd] [-v|-quiet] [-out report.txt]
 //	            [-obs] [-manifest BENCH_manifest.json]
 //	            [-trajectory BENCH_trajectory.json] [-trace out.jsonl]
@@ -26,15 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/repro/snntest/internal/core"
 	"github.com/repro/snntest/internal/experiments"
 	"github.com/repro/snntest/internal/obs"
 	_ "github.com/repro/snntest/internal/obs/telemetry" // -serve support
 	"github.com/repro/snntest/internal/snn"
+	"github.com/repro/snntest/internal/tensor"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		table      = fs.Int("table", 0, "render one table (1-4)")
 		fig        = fs.Int("fig", 0, "render one figure (7-9)")
 		ablations  = fs.Bool("ablations", false, "run the ablation study")
+		forward    = fs.Bool("forward", false, "render the fused-vs-reference forward kernel timing table")
 		all        = fs.Bool("all", false, "render every table, figure and ablation")
 		benchList  = fs.String("bench", strings.Join(experiments.Benchmarks, ","), "comma-separated benchmarks")
 		outPath    = fs.String("out", "", "write the report to this file (default: stdout)")
@@ -82,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	if *table == 0 && *fig == 0 && !*ablations {
+	if *table == 0 && *fig == 0 && !*ablations && !*forward {
 		*all = true
 	}
 
@@ -196,6 +200,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return err
 		}
 	}
+	if *all || *forward {
+		if err := renderForward(out, pipes, *seed); err != nil {
+			return err
+		}
+	}
 	if *obsMode {
 		m := obs.NewManifest(map[string]string{
 			"tool":       "benchreport",
@@ -232,6 +241,49 @@ func pickPipe(pipes []*experiments.Pipeline, prefer string) *experiments.Pipelin
 		}
 	}
 	return pipes[0]
+}
+
+// renderForward times the fused forward kernels against the retained
+// reference path on each pipeline's trained network and renders a small
+// table — the CLI view of the BenchmarkForwardFused / BENCH_forward.json
+// comparison. Divergent spike records are an error: bit-identity between
+// the two engines is a correctness invariant, not a benchmark metric.
+func renderForward(w io.Writer, pipes []*experiments.Pipeline, seed int64) error {
+	const steps = 50
+	fmt.Fprintf(w, "\nFused forward kernels vs reference path (%d steps, bit-identical records)\n", steps)
+	fmt.Fprintf(w, "%-14s %12s %12s %9s\n", "benchmark", "fused", "reference", "speedup")
+	for _, p := range pipes {
+		rng := rand.New(rand.NewSource(seed))
+		stim := tensor.RandBernoulli(rng, 0.3, append([]int{steps}, p.Net.InShape...)...)
+		fused, ref := p.Net.NewScratch(), p.Net.NewScratch()
+		ref.SetReference(true)
+		frec, _ := fused.RunFrom(0, nil, stim)
+		rrec, _ := ref.RunFrom(0, nil, stim)
+		for li := range p.Net.Layers {
+			if !tensor.Equal(frec.Layers[li], rrec.Layers[li], 0) {
+				return fmt.Errorf("%s: fused forward diverges from reference path at layer %d", p.Benchmark, li)
+			}
+		}
+		// Alternate the two engines at single-run granularity so machine
+		// slow phases inflate both totals proportionally (see bench_test).
+		var tF, tR time.Duration
+		deadline := time.Now().Add(150 * time.Millisecond)
+		n := 0
+		for time.Now().Before(deadline) {
+			s0 := time.Now()
+			fused.RunFrom(0, nil, stim)
+			s1 := time.Now()
+			ref.RunFrom(0, nil, stim)
+			tR += time.Since(s1)
+			tF += s1.Sub(s0)
+			n++
+		}
+		fmt.Fprintf(w, "%-14s %12v %12v %8.2fx\n", p.Benchmark,
+			(tF / time.Duration(n)).Round(time.Microsecond),
+			(tR / time.Duration(n)).Round(time.Microsecond),
+			float64(tR)/float64(tF))
+	}
+	return nil
 }
 
 // runAblations executes the DESIGN.md §5 ablation suite.

@@ -126,3 +126,22 @@ func TestRunObsManifest(t *testing.T) {
 		t.Errorf("manifest counters dead: %v", m.Counters)
 	}
 }
+
+// TestRunForwardTable checks -forward renders the fused-vs-reference
+// kernel timing table for the selected benchmark.
+func TestRunForwardTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-scale", "tiny", "-bench", "shd", "-epochs", "1", "-forward",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Fused forward kernels") || !strings.Contains(out, "shd") {
+		t.Errorf("stdout missing fused forward table for shd; got:\n%s", out)
+	}
+	if strings.Contains(out, "Table I") {
+		t.Errorf("-forward alone should not render the report tables; got:\n%s", out)
+	}
+}

@@ -80,6 +80,17 @@ func gradCases() []gradCase {
 	spikeIn := awayFromZero(rng, 8) // |u−θ| ≥ 0.2 with θ=0 below
 	detachBase := tensor.RandNormal(rng, 0, 1, 8)
 
+	// Fused LIF kernel operands: a mixed refractory gate plus fixed
+	// membrane/one-minus/current tensors for the per-operand variants.
+	lifU := tensor.RandNormal(rng, 0, 1, 8)
+	lifOM := tensor.RandNormal(rng, 0.5, 0.3, 8)
+	lifCur := tensor.RandNormal(rng, 0, 1, 8)
+	lifGate := tensor.New(8)
+	for i := range lifGate.Data() {
+		lifGate.Data()[i] = float64(1 - i%2)
+	}
+	const lifLeak = 0.9
+
 	return []gradCase{
 		{op: "Add", x: x8, build: func(a *Node) *Node { return wsum(Add(a, Square(a)), w8) }},
 		{op: "AddN", x: x8, build: func(a *Node) *Node { return wsum(AddN(a, Square(a), Scale(a, 0.5)), w8) }},
@@ -104,6 +115,24 @@ func gradCases() []gradCase {
 		{op: "MaskedRowVariance", x: mrvX, build: func(a *Node) *Node { return wsum(MaskedRowVariance(mrvW, a), w4) }},
 		{op: "SoftmaxCrossEntropy", x: tensor.RandNormal(rng, 0, 1, 5), build: func(a *Node) *Node { return SoftmaxCrossEntropy(a, 2) }},
 		{op: "GumbelSigmoid", x: x8, build: func(a *Node) *Node { return wsum(GumbelSigmoid(a, noise, 0.7), w8) }},
+		{op: "OneMinusSpike", x: x8, build: func(a *Node) *Node { return wsum(OneMinusSpike(a), w8) }},
+		{op: "LIFStep", variant: "u", x: x8, build: func(a *Node) *Node {
+			return wsum(LIFStep(a, Leaf(lifOM.Clone()), Leaf(lifCur.Clone()), lifGate, lifLeak), w8)
+		}},
+		{op: "LIFStep", variant: "oneMinus", x: x8, build: func(a *Node) *Node {
+			return wsum(LIFStep(Leaf(lifU.Clone()), a, Leaf(lifCur.Clone()), lifGate, lifLeak), w8)
+		}},
+		{op: "LIFStep", variant: "cur", x: x8, build: func(a *Node) *Node {
+			return wsum(LIFStep(Leaf(lifU.Clone()), Leaf(lifOM.Clone()), a, lifGate, lifLeak), w8)
+		}},
+		{op: "LIFStep", variant: "nil-gate", x: x8, build: func(a *Node) *Node {
+			return wsum(LIFStep(a, Leaf(lifOM.Clone()), Leaf(lifCur.Clone()), nil, lifLeak), w8)
+		}},
+		{op: "LIFStep", variant: "const-parents", x: x8, build: func(a *Node) *Node {
+			// Gradient flows through cur only; u and oneMinus are constants,
+			// exercising the requiresGrad guards on the fused backward.
+			return wsum(LIFStep(Const(lifU), Const(lifOM), a, lifGate, lifLeak), w8)
+		}},
 		{
 			// STE's forward is Heaviside; its backward is defined as the
 			// identity Jacobian, so the FD reference is the identity map.

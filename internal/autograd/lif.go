@@ -1,0 +1,91 @@
+package autograd
+
+import "github.com/repro/snntest/internal/tensor"
+
+// This file holds the fused differentiable LIF kernels used by the fast
+// generation engine's graph path. Each op computes exactly the float
+// sequence of the composed op chain it replaces — same multiplications,
+// same addition order — and accumulates parent gradients in place,
+// without the per-op temporary tensors of the composed form.
+//
+// Fusion here is only order-safe because every replaced interior node
+// has exactly one consumer: collapsing such a chain moves no
+// gradient-accumulation relative to any other consumer of a shared
+// parent, so the backward pass is bit-identical to the composed chain.
+// The membrane chain (Scale→Mul→Add→Mul(gate)) and the (1−s) chain
+// (Neg→AddScalar) both satisfy this; the spike node s itself has many
+// consumers and is deliberately NOT fused. The equivalence suite in
+// internal/snn pins fused-vs-composed graphs bit-for-bit, values and
+// gradients both.
+
+// OneMinusSpike returns (−s)+1 for a binary spike node s, fusing the
+// Neg→AddScalar chain of the LIF keep-path into one node.
+func OneMinusSpike(s *Node) *Node {
+	v := tensor.NewLike(s.Value, s.Value.Shape()...)
+	sd, vd := s.Value.Data(), v.Data()
+	for i := range vd {
+		vd[i] = -sd[i] + 1
+	}
+	return newOp(v, func(out *Node) {
+		if !s.requiresGrad {
+			return
+		}
+		sg, od := s.Grad.Data(), out.Grad.Data()
+		for i := range od {
+			sg[i] += od[i] * -1
+		}
+	}, s)
+}
+
+// LIFStep fuses the leaky-integrate membrane update of one LIF layer
+// step: out = gate ⊙ ((leak·u) ⊙ oneMinus + cur). gate is the constant
+// refractory mask (0 while refractory, 1 otherwise) and receives no
+// gradient; a nil gate means all-ones — multiplying by exactly 1.0 is
+// the float identity, so eliding it is bit-invisible. u, oneMinus and
+// cur are each consumed only by this op.
+func LIFStep(u, oneMinus, cur *Node, gate *tensor.Tensor, leak float64) *Node {
+	v := tensor.NewLike(cur.Value, cur.Value.Shape()...)
+	ud, omd, cd := u.Value.Data(), oneMinus.Value.Data(), cur.Value.Data()
+	vd := v.Data()
+	var gd []float64
+	if gate != nil {
+		gd = gate.Data()
+	}
+	if gd == nil {
+		for i := range vd {
+			vd[i] = (ud[i]*leak)*omd[i] + cd[i]
+		}
+	} else {
+		for i := range vd {
+			vd[i] = ((ud[i]*leak)*omd[i] + cd[i]) * gd[i]
+		}
+	}
+	return newOp(v, func(out *Node) {
+		od := out.Grad.Data()
+		var ug, omg, cg []float64
+		if u.requiresGrad {
+			ug = u.Grad.Data()
+		}
+		if oneMinus.requiresGrad {
+			omg = oneMinus.Grad.Data()
+		}
+		if cur.requiresGrad {
+			cg = cur.Grad.Data()
+		}
+		for i := range od {
+			gg := od[i] // cotangent below the gate
+			if gd != nil {
+				gg *= gd[i]
+			}
+			if cg != nil {
+				cg[i] += gg
+			}
+			if omg != nil {
+				omg[i] += gg * (ud[i] * leak)
+			}
+			if ug != nil {
+				ug[i] += (gg * omd[i]) * leak
+			}
+		}
+	}, u, oneMinus, cur)
+}

@@ -31,6 +31,8 @@ package autograd
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/repro/snntest/internal/tensor"
 )
@@ -44,11 +46,19 @@ type Node struct {
 
 	requiresGrad bool
 	parents      []*Node
-	backward     func() // propagates n.Grad into parents' Grad
+	backward     func(out *Node) // propagates out.Grad into parents' Grad
+	// visit is the topoSort epoch that last reached this node; comparing
+	// against a fresh epoch replaces the per-Backward visited map. It
+	// follows the package's goroutine contract: a node appears in one
+	// goroutine's graph at a time.
+	visit uint64
 }
 
 // Leaf wraps t as a differentiable graph input. Backward accumulates into
 // its Grad field; the caller owns zeroing it between steps (ZeroGrad).
+// The Grad tensor is always heap-backed — it must outlive any arena the
+// value tensor is adopted into, since optimizers read it across arena
+// resets.
 func Leaf(t *tensor.Tensor) *Node {
 	return &Node{
 		Value:        t,
@@ -75,9 +85,13 @@ func (n *Node) ZeroGrad() {
 }
 
 // newOp builds an interior node whose gradient requirement is inherited
-// from its parents.
+// from its parents. Nodes whose value is arena-backed are drawn from the
+// arena's node slab and recycled together with the value at the next
+// Reset; heap values get plain heap nodes.
 func newOp(value *tensor.Tensor, back func(out *Node), parents ...*Node) *Node {
-	n := &Node{Value: value, parents: parents}
+	n := slabNode(value)
+	n.Value = value
+	n.parents = parents
 	for _, p := range parents {
 		if p != nil && p.requiresGrad {
 			n.requiresGrad = true
@@ -85,10 +99,60 @@ func newOp(value *tensor.Tensor, back func(out *Node), parents ...*Node) *Node {
 		}
 	}
 	if n.requiresGrad {
-		n.Grad = tensor.New(value.Shape()...)
-		n.backward = func() { back(n) }
+		// Interior gradients live exactly as long as the value: if the
+		// value is arena-backed, so is the gradient buffer.
+		n.Grad = tensor.NewLike(value, value.Shape()...)
+		n.backward = back
 	}
 	return n
+}
+
+// nodeSlab bump-allocates Node structs whose lifetime is one tensor-arena
+// generation: it is attached to an Arena via SetAux, so Arena.Reset
+// recycles the node structs in the same instant it recycles the value and
+// gradient tensors they point at. Blocks are retained across resets;
+// stale pointers inside them pin at most one graph's tensors until
+// overwritten, bounded by the high-water mark like the arena itself.
+type nodeSlab struct {
+	blocks [][]Node
+	bi, bo int
+}
+
+const nodeSlabBlock = 1024
+
+func (s *nodeSlab) get() *Node {
+	if s.bi == len(s.blocks) {
+		s.blocks = append(s.blocks, make([]Node, nodeSlabBlock))
+	}
+	n := &s.blocks[s.bi][s.bo]
+	s.bo++
+	if s.bo == len(s.blocks[s.bi]) {
+		s.bi++
+		s.bo = 0
+	}
+	*n = Node{}
+	return n
+}
+
+func (s *nodeSlab) reset() { s.bi, s.bo = 0, 0 }
+
+// slabNode returns a zeroed Node for a value tensor: from the value's
+// arena-attached slab when the value is arena-backed (fast engine), from
+// the heap otherwise (reference engine, training, tests). Leaf and Const
+// construct their nodes directly and so always live on the heap — a leaf
+// (the optimizer's stimulus, adopted into the arena) outlives every
+// Reset, which a slab node must not.
+func slabNode(value *tensor.Tensor) *Node {
+	ar := value.Arena()
+	if ar == nil {
+		return &Node{}
+	}
+	slab, ok := ar.Aux().(*nodeSlab)
+	if !ok {
+		slab = new(nodeSlab)
+		ar.SetAux(slab, slab.reset)
+	}
+	return slab.get()
 }
 
 // accumulate adds g into p.Grad if p participates in backprop.
@@ -104,40 +168,92 @@ func accumulate(p *Node, g *tensor.Tensor) {
 // gradient-requiring node holds ∂root/∂node in Grad (accumulated on top of
 // whatever was already there, so call ZeroGrad on leaves between steps).
 func Backward(root *Node) error {
+	return backward(root, false)
+}
+
+// BackwardReference is Backward with the original per-sort visited map
+// instead of the epoch counter. The traversal — and therefore every
+// gradient bit — is identical; only the allocation behaviour differs. It
+// exists as the differential baseline for the generation-engine
+// equivalence suite and the BENCH_generate speedup measurement.
+func BackwardReference(root *Node) error {
+	return backward(root, true)
+}
+
+func backward(root *Node, mapVisited bool) error {
 	if root.Value.Len() != 1 {
 		return fmt.Errorf("autograd: Backward root must be scalar, got shape %v", root.Value.Shape())
 	}
 	if !root.requiresGrad {
 		return nil // nothing reachable requires gradients
 	}
-	order := topoSort(root)
+	order := topoSort(root, mapVisited)
 	root.Grad.Fill(1)
 	for i := len(order) - 1; i >= 0; i-- {
-		if order[i].backward != nil {
-			order[i].backward()
+		if n := order[i]; n.backward != nil {
+			n.backward(n)
 		}
+	}
+	if !mapVisited {
+		sortBufs.Put(&sortBuf{order: order[:0]})
 	}
 	return nil
 }
 
+// sortBuf recycles one Backward's traversal slice. Only the epoch-based
+// fast path draws from the pool; BackwardReference allocates fresh, like
+// the baseline engine it stands in for.
+type sortBuf struct{ order []*Node }
+
+var sortBufs = sync.Pool{New: func() any { return new(sortBuf) }}
+
+// topoEpoch issues one fresh epoch per topoSort; a node is visited in the
+// current sort iff its visit field equals the epoch. The counter is
+// atomic so concurrent Backward calls on disjoint graphs draw distinct
+// epochs, keeping the per-sort visited set map-free.
+var topoEpoch atomic.Uint64
+
 // topoSort returns nodes reachable from root in topological order
 // (parents before children). Iterative DFS to survive deep BPTT graphs.
-func topoSort(root *Node) []*Node {
+// With mapVisited the visited set is a heap map (the pre-epoch baseline);
+// otherwise it is the epoch counter. Both walk parents in the same order,
+// so the returned order — and every downstream gradient — is identical.
+func topoSort(root *Node, mapVisited bool) []*Node {
 	type frame struct {
 		n    *Node
 		next int
 	}
-	visited := make(map[*Node]bool)
+	var epoch uint64
+	var visited map[*Node]bool
 	var order []*Node
+	if mapVisited {
+		visited = map[*Node]bool{root: true}
+	} else {
+		epoch = topoEpoch.Add(1)
+		root.visit = epoch
+		order = sortBufs.Get().(*sortBuf).order
+	}
+	seen := func(p *Node) bool {
+		if mapVisited {
+			if visited[p] {
+				return true
+			}
+			visited[p] = true
+			return false
+		}
+		if p.visit == epoch {
+			return true
+		}
+		p.visit = epoch
+		return false
+	}
 	stack := []frame{{n: root}}
-	visited[root] = true
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		if top.next < len(top.n.parents) {
 			p := top.n.parents[top.next]
 			top.next++
-			if p != nil && p.requiresGrad && !visited[p] {
-				visited[p] = true
+			if p != nil && p.requiresGrad && !seen(p) {
 				stack = append(stack, frame{n: p})
 			}
 			continue

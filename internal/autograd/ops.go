@@ -18,7 +18,8 @@ func AddN(nodes ...*Node) *Node {
 	if len(nodes) == 0 {
 		checkf("AddN requires at least one operand")
 	}
-	v := nodes[0].Value.Clone()
+	v := tensor.NewLike(nodes[0].Value, nodes[0].Value.Shape()...)
+	copy(v.Data(), nodes[0].Value.Data())
 	for _, n := range nodes[1:] {
 		tensor.AddInPlace(v, n.Value)
 	}
@@ -34,16 +35,25 @@ func Sub(a, b *Node) *Node {
 	v := tensor.Sub(a.Value, b.Value)
 	return newOp(v, func(out *Node) {
 		accumulate(a, out.Grad)
-		accumulate(b, tensor.Neg(out.Grad))
+		if b.requiresGrad {
+			accumulate(b, tensor.Neg(out.Grad))
+		}
 	}, a, b)
 }
 
-// Mul returns a * b elementwise (Hadamard).
+// Mul returns a * b elementwise (Hadamard). The per-operand gradient
+// products are only materialized for operands that require gradients —
+// masks and gates enter as constants, and their cotangents would be
+// discarded.
 func Mul(a, b *Node) *Node {
 	v := tensor.Mul(a.Value, b.Value)
 	return newOp(v, func(out *Node) {
-		accumulate(a, tensor.Mul(out.Grad, b.Value))
-		accumulate(b, tensor.Mul(out.Grad, a.Value))
+		if a.requiresGrad {
+			accumulate(a, tensor.Mul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			accumulate(b, tensor.Mul(out.Grad, a.Value))
+		}
 	}, a, b)
 }
 
@@ -70,7 +80,7 @@ func Neg(a *Node) *Node { return Scale(a, -1) }
 func Abs(a *Node) *Node {
 	v := tensor.Abs(a.Value)
 	return newOp(v, func(out *Node) {
-		g := tensor.New(a.Value.Shape()...)
+		g := tensor.NewLike(a.Value, a.Value.Shape()...)
 		av, gd, od := a.Value.Data(), g.Data(), out.Grad.Data()
 		for i := range gd {
 			switch {
@@ -88,7 +98,7 @@ func Abs(a *Node) *Node {
 func Relu(a *Node) *Node {
 	v := tensor.Relu(a.Value)
 	return newOp(v, func(out *Node) {
-		g := tensor.New(a.Value.Shape()...)
+		g := tensor.NewLike(a.Value, a.Value.Shape()...)
 		av, gd, od := a.Value.Data(), g.Data(), out.Grad.Data()
 		for i := range gd {
 			if av[i] > 0 {
@@ -109,11 +119,13 @@ func Square(a *Node) *Node {
 	}, a)
 }
 
-// Sum reduces a to a scalar node holding Σ aᵢ.
+// Sum reduces a to a scalar node holding Σ aᵢ. The scalar inherits a's
+// arena so the loss math downstream of a reduction stays arena-backed.
 func Sum(a *Node) *Node {
-	v := tensor.Scalar(tensor.Sum(a.Value))
+	v := tensor.NewLike(a.Value)
+	v.Data()[0] = tensor.Sum(a.Value)
 	return newOp(v, func(out *Node) {
-		accumulate(a, tensor.Full(out.Grad.Data()[0], a.Value.Shape()...))
+		accumulate(a, tensor.FullLike(a.Value, out.Grad.Data()[0], a.Value.Shape()...))
 	}, a)
 }
 
@@ -175,7 +187,7 @@ func Slice(a *Node, start, length int, shape ...int) *Node {
 	if start < 0 || length < 0 || start+length > a.Value.Len() {
 		checkf("Slice [%d:%d] out of range for %d elements", start, start+length, a.Value.Len())
 	}
-	v := tensor.FromSlice(a.Value.RawRange(start, length), shape...)
+	v := a.Value.ViewRange(start, length, shape...)
 	return newOp(v, func(out *Node) {
 		if !a.requiresGrad {
 			return

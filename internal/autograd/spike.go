@@ -19,7 +19,7 @@ const SurrogateScale = 10.0
 func Spike(u *Node, threshold, scale float64) *Node {
 	v := tensor.Heaviside(u.Value, threshold)
 	return newOp(v, func(out *Node) {
-		g := tensor.New(u.Value.Shape()...)
+		g := tensor.NewLike(u.Value, u.Value.Shape()...)
 		ud, gd, od := u.Value.Data(), g.Data(), out.Grad.Data()
 		for i := range gd {
 			x := ud[i] - threshold
@@ -42,13 +42,13 @@ func GumbelSigmoid(logits *Node, noise *tensor.Tensor, tau float64) *Node {
 	if tau <= 0 {
 		checkf("GumbelSigmoid temperature must be positive, got %g", tau)
 	}
-	v := tensor.New(logits.Value.Shape()...)
+	v := tensor.NewLike(logits.Value, logits.Value.Shape()...)
 	ld, nd, vd := logits.Value.Data(), noise.Data(), v.Data()
 	for i := range vd {
 		vd[i] = 1 / (1 + math.Exp(-(ld[i]+nd[i])/tau))
 	}
 	return newOp(v, func(out *Node) {
-		g := tensor.New(logits.Value.Shape()...)
+		g := tensor.NewLike(logits.Value, logits.Value.Shape()...)
 		gd, od := g.Data(), out.Grad.Data()
 		for i := range gd {
 			s := vd[i]
@@ -97,7 +97,7 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 	if x.Value.Len() != cols {
 		checkf("MaskedRowVariance dimension mismatch: %d weights columns vs %d counts", cols, x.Value.Len())
 	}
-	v := tensor.New(rows)
+	v := tensor.NewLike(x.Value, rows)
 	means := make([]float64, rows)
 	counts := make([]int, rows)
 	wd, xd := w.Data(), x.Value.Data()
@@ -128,7 +128,7 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 	return newOp(v, func(out *Node) {
 		// dvar_i/dx_k = (2/n_i)·m_ik·(c_ik − mean_i)·w_ik ; the mean term
 		// cancels because Σ_j m_ij (c_ij − mean_i) = 0.
-		g := tensor.New(cols)
+		g := tensor.NewLike(x.Value, cols)
 		gd, od := g.Data(), out.Grad.Data()
 		for i := 0; i < rows; i++ {
 			if counts[i] < 2 || od[i] == 0 { //lint:ignore floateq skipping only bit-exact zero upstream gradients is safe
@@ -153,7 +153,8 @@ func MaskedRowVariance(w *tensor.Tensor, x *Node) *Node {
 func SoftmaxCrossEntropy(logits *Node, target int) *Node {
 	p := tensor.Softmax(logits.Value)
 	loss := -math.Log(math.Max(p.Data()[target], 1e-15))
-	v := tensor.Scalar(loss)
+	v := tensor.NewLike(logits.Value)
+	v.Data()[0] = loss
 	return newOp(v, func(out *Node) {
 		g := p.Clone()
 		g.Data()[target] -= 1

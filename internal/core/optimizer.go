@@ -32,6 +32,18 @@ type chunkOptimizer struct {
 	leaf  *ag.Node       // I_real, flattened [steps·frame]
 	noise *tensor.Tensor // logistic noise, resampled per optimization step
 	adam  *train.Adam
+
+	// Buffer-reusing engine state, nil when cfg.ReferenceEngine: the
+	// arena recycles every per-iteration graph tensor (values, interior
+	// gradients, the Gumbel relaxation) at the next forward call; rec,
+	// scratch, stim and stepNodes amortize the remaining per-iteration
+	// structures. Anything that survives an iteration (the best stimulus
+	// and output) is Clone()d onto the heap before the arena resets.
+	arena     *tensor.Arena
+	rec       *snn.Record
+	scratch   *snn.Scratch
+	stim      *tensor.Tensor
+	stepNodes []*ag.Node
 }
 
 // initLogitMean biases the initial I_real logits negative so the first
@@ -54,6 +66,13 @@ func newChunkOptimizer(net *snn.Network, cfg *Config, rng *rand.Rand, steps int)
 		noise: tensor.New(steps * frame),
 	}
 	o.adam = train.NewAdam([]*ag.Node{o.leaf}, cfg.LR)
+	if !cfg.ReferenceEngine {
+		// Adopting the (heap-backed) logits roots arena propagation:
+		// every tensor derived from the leaf during forward/backward is
+		// drawn from the arena and recycled at the next iteration.
+		o.arena = tensor.NewArena()
+		o.arena.Adopt(o.leaf.Value)
+	}
 	return o
 }
 
@@ -68,6 +87,11 @@ func (o *chunkOptimizer) grow(extra int) {
 	o.leaf = ag.Leaf(grown)
 	o.noise = tensor.New(o.steps * o.frame)
 	o.adam = train.NewAdam([]*ag.Node{o.leaf}, o.cfg.LR)
+	if o.arena != nil {
+		o.arena.Adopt(o.leaf.Value)
+		// Per-duration buffers are stale; lazily resized on next use.
+		o.rec, o.stim, o.stepNodes = nil, nil, nil
+	}
 }
 
 // forward builds the Gumbel-Softmax → STE → RunGraph pipeline for the
@@ -76,6 +100,12 @@ func (o *chunkOptimizer) grow(extra int) {
 // (a diverged I_real under an aggressive learning rate), so every stage
 // loop propagates divergence as an error instead of optimizing on NaNs.
 func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor, error) {
+	if o.arena != nil {
+		// Everything the previous iteration's graph allocated is dead by
+		// now: the bookkeeping between iterations holds only scalars and
+		// heap clones.
+		o.arena.Reset()
+	}
 	if o.cfg.PlainSigmoid {
 		o.noise.Zero()
 	} else {
@@ -85,14 +115,46 @@ func (o *chunkOptimizer) forward(tau float64) (*snn.GraphResult, *tensor.Tensor,
 	if !soft.Value.AllFinite() {
 		return nil, nil, fmt.Errorf("core: optimizer diverged: non-finite relaxation values at temperature %g", tau)
 	}
-	stepNodes := make([]*ag.Node, o.steps)
-	stim := tensor.New(append([]int{o.steps}, o.net.InShape...)...)
+	stepNodes, stim := o.stepNodes, o.stim
+	if stepNodes == nil || len(stepNodes) != o.steps {
+		stepNodes = make([]*ag.Node, o.steps)
+		stim = tensor.New(append([]int{o.steps}, o.net.InShape...)...)
+		if o.arena != nil {
+			o.stepNodes, o.stim = stepNodes, stim
+		}
+	}
 	for t := 0; t < o.steps; t++ {
 		frameNode := ag.STE(ag.Slice(soft, t*o.frame, o.frame, o.net.InShape...), 0.5)
 		stepNodes[t] = frameNode
 		copy(stim.RawRange(t*o.frame, o.frame), frameNode.Value.Data())
 	}
+	if o.arena != nil {
+		return o.net.RunGraphFused(stepNodes), stim, nil
+	}
 	return o.net.RunGraph(stepNodes), stim, nil
+}
+
+// record materializes the graph result's spike trains, reusing the
+// optimizer's record on the buffer-reusing engine.
+func (o *chunkOptimizer) record(res *snn.GraphResult) *snn.Record {
+	if o.arena == nil {
+		return res.ToRecord(o.net)
+	}
+	o.rec = res.ToRecordInto(o.net, o.rec)
+	return o.rec
+}
+
+// traffic returns the hidden-layer spike count the stimulus elicits,
+// through the optimizer's reusable scratch on the buffer-reusing engine.
+func (o *chunkOptimizer) traffic(stim *tensor.Tensor) float64 {
+	if o.arena == nil {
+		return hiddenTraffic(o.net, stim)
+	}
+	if o.scratch == nil {
+		o.scratch = o.net.NewScratch()
+	}
+	rec, _ := o.scratch.RunFrom(0, nil, stim)
+	return sumHidden(rec)
 }
 
 // stageOutcome is the best stimulus visited during one stage pass.
@@ -168,9 +230,17 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 		lossVal := total.Value.Data()[0]
 		l1Val := ls[0].Value.Data()[0]
 
-		rec := res.ToRecord(o.net)
-		act := rec.ActivatedNeurons(offsets, 1)
-		newCount := countMasked(act, mask, offsets, o.net)
+		rec := o.record(res)
+		// The activated-neuron set is only materialized as a map when the
+		// candidate wins; the ranking itself uses the mapless record scan.
+		var act map[int]bool
+		var newCount int
+		if o.arena == nil {
+			act = rec.ActivatedNeurons(offsets, 1)
+			newCount = countMasked(act, mask, offsets, o.net)
+		} else {
+			newCount = countActivatedMasked(rec, mask, o.net)
+		}
 		// Candidate ranking: firing outputs comes first (a fault effect
 		// that cannot reach O^L is undetectable, so L1 dominates), then
 		// newly activated target neurons, then the aggregate loss.
@@ -178,6 +248,9 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 			(l1Val == bestL1 && newCount > bestNew) || //lint:ignore floateq lexicographic tie-break on deterministically recomputed loss values
 			(l1Val == bestL1 && newCount == bestNew && lossVal < best.loss) //lint:ignore floateq lexicographic tie-break on deterministically recomputed loss values
 		if better {
+			if act == nil {
+				act = rec.ActivatedNeurons(offsets, 1)
+			}
 			bestL1, bestNew = l1Val, newCount
 			best = stageOutcome{
 				stim:      stim.Clone(),
@@ -188,7 +261,7 @@ func (o *chunkOptimizer) runStage1(mask *LayerMask, tdMin float64, offsets []int
 		}
 
 		o.adam.ZeroGrad()
-		if err := ag.Backward(total); err != nil {
+		if err := o.backward(total); err != nil {
 			return stageOutcome{}, err
 		}
 		o.adam.LR = lrSched.At(s)
@@ -211,7 +284,7 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 	tauSched := o.cfg.tauSchedule(steps)
 
 	best := incumbent
-	bestTraffic := hiddenTraffic(o.net, incumbent.stim)
+	bestTraffic := o.traffic(incumbent.stim)
 	ref := incumbent.output
 
 	for s := 0; s < steps; s++ {
@@ -224,7 +297,7 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 		total := ag.Add(l5, ag.Scale(mismatch, o.cfg.MismatchWeight))
 
 		if mismatch.Value.Data()[0] == 0 && l5.Value.Data()[0] < bestTraffic { //lint:ignore floateq mismatch counts differing binary spikes; exact zero means identical trains
-			rec := res.ToRecord(o.net)
+			rec := o.record(res)
 			act := rec.ActivatedNeurons(offsets, 1)
 			if containsAll(act, incumbent.activated) {
 				bestTraffic = l5.Value.Data()[0]
@@ -238,7 +311,7 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 		}
 
 		o.adam.ZeroGrad()
-		if err := ag.Backward(total); err != nil {
+		if err := o.backward(total); err != nil {
 			return stageOutcome{}, err
 		}
 		o.adam.LR = lrSched.At(s)
@@ -247,15 +320,62 @@ func (o *chunkOptimizer) runStage2(incumbent stageOutcome, offsets []int) (stage
 	return best, nil
 }
 
+// backward dispatches the gradient pass to the engine-matched visited-set
+// strategy: the reference engine keeps the original map-visited
+// topological sort, the fast engine the epoch-based one. The traversal
+// order is the same, so gradients are bit-identical either way.
+func (o *chunkOptimizer) backward(total *ag.Node) error {
+	if o.arena == nil {
+		return ag.BackwardReference(total)
+	}
+	return ag.Backward(total)
+}
+
 // hiddenTraffic returns the total hidden-layer spike count the stimulus
-// elicits (the fast-path value of L5).
+// elicits (the fast-path value of L5), simulated on the reference kernels
+// — it serves the ReferenceEngine baseline, whose allocation profile it
+// preserves.
 func hiddenTraffic(net *snn.Network, stim *tensor.Tensor) float64 {
-	rec := net.Run(stim)
+	sc := net.NewScratch()
+	sc.SetReference(true)
+	rec, _ := sc.RunFrom(0, nil, stim)
+	return sumHidden(rec)
+}
+
+// sumHidden totals the spike counts of every non-output layer.
+func sumHidden(rec *snn.Record) float64 {
 	total := 0.0
 	for li := 0; li < len(rec.Layers)-1; li++ {
 		total += tensor.Sum(rec.Layers[li])
 	}
 	return total
+}
+
+// countActivatedMasked counts the neurons inside the mask whose recorded
+// spike train carries at least one spike, scanning the record in place —
+// the mapless equivalent of countMasked over ActivatedNeurons(offsets, 1),
+// run every optimization step on the buffer-reusing engine.
+//
+//snn:hotpath
+func countActivatedMasked(rec *snn.Record, mask *LayerMask, net *snn.Network) int {
+	n := 0
+	for li, l := range net.Layers {
+		mv := mask.maskFor(li)
+		nn := l.NumNeurons()
+		data := rec.Layers[li].Data()
+		for j := 0; j < nn; j++ {
+			if mv != nil && mv.Data()[j] != 1 { //lint:ignore floateq layer masks hold exactly 0 or 1
+				continue
+			}
+			for t := 0; t < rec.Steps; t++ {
+				if data[t*nn+j] != 0 { //lint:ignore floateq recorded spikes are exactly 0 or 1
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
 }
 
 // containsAll reports whether set contains every member of subset.

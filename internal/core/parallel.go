@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/repro/snntest/internal/obs"
@@ -25,21 +26,33 @@ var (
 // must write only to its own index-addressed slot; the pool imposes no
 // ordering, so determinism comes from the slots, never from completion
 // order.
+//
+// Work items are restarts or calibration candidates — coarse units that
+// run for seconds — so scheduling is a single atomic counter rather than
+// a channel: no per-item send/receive, no channel buffer sized to n, and
+// a workers<=1 call degenerates to a plain loop on the caller's
+// goroutine with no synchronization at all.
 func runIndexed(workers, n int, fn func(int)) {
 	if workers >= n {
 		workers = n
 	}
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
-	close(idx)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()

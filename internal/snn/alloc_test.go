@@ -5,11 +5,16 @@ import (
 	"testing"
 )
 
-// TestStepLayerZeroAlloc pins the //snn:hotpath contract of the LIF step
-// kernel with the runtime's own accounting: one layer step on prebuilt
-// Scratch state must not allocate. The static side of the same contract
-// is enforced by snnlint's hotpathalloc analyzer; this test catches what
-// escape analysis decides at compile time, which no AST walk can.
+// Zero-allocation gates for the fused simulation path, pinned with the
+// runtime's own accounting. The static side of the same contract is
+// enforced by snnlint's hotpathalloc analyzer; these tests catch what
+// escape analysis decides at compile time, which no AST walk can. The
+// gate covers the full forward pass — not just the LIF step kernel —
+// for every fixture architecture, so a regression in any fused kernel
+// (dense, conv/im2col, pool, recurrent) trips it.
+
+// TestStepLayerZeroAlloc pins the reference LIF step kernel in isolation:
+// one layer step on prebuilt Scratch state must not allocate.
 func TestStepLayerZeroAlloc(t *testing.T) {
 	net := must(BuildNMNIST(rand.New(rand.NewSource(7)), ScaleTiny))
 	sc := net.NewScratch()
@@ -30,22 +35,54 @@ func TestStepLayerZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestRunFromAllocBaseline measures the full replay pass. It is not yet
-// zero-alloc — Projection.Forward materializes a fresh current tensor
-// per (layer, step) (ROADMAP: buffer-reusing forward path) — so the test
-// skips with the measured number rather than asserting, keeping the
-// measurement visible in -v runs until the kernel gets there.
-func TestRunFromAllocBaseline(t *testing.T) {
-	net := must(BuildNMNIST(rand.New(rand.NewSource(8)), ScaleTiny))
-	sc := net.NewScratch()
-	stim := benchStimulus(net, 10)
-	golden, _ := sc.RunFrom(0, nil, stim)
-	_ = golden
+// TestRunFromZeroAlloc asserts a full fused RunFrom pass over a prewarmed
+// Scratch allocates nothing, for every fixture architecture.
+func TestRunFromZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, b := range []string{"nmnist", "ibm-gesture", "shd"} {
+		net := must(Build(b, rng, ScaleTiny))
+		sc := net.NewScratch()
+		stim := benchStimulus(net, 10)
+		sc.RunFrom(0, nil, stim) // prewarm: size the record buffers
 
-	allocs := testing.AllocsPerRun(10, func() {
-		sc.RunFrom(0, nil, stim)
-	})
-	if allocs > 0 {
-		t.Skipf("full RunFrom pass allocates %v times per run (Projection.Forward materializes per-step tensors); not yet subject to the zero-alloc gate", allocs)
+		allocs := testing.AllocsPerRun(10, func() {
+			sc.RunFrom(0, nil, stim)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: full fused RunFrom pass allocated %v times per run; want 0", b, allocs)
+		}
+	}
+}
+
+// TestReplayAndDivergenceZeroAlloc asserts the campaign hot paths —
+// golden-replay RunFrom from a mid-network start layer and the
+// early-exit DivergesFrom detector — are also allocation-free, including
+// across a Bind to a faulty clone.
+func TestReplayAndDivergenceZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, b := range []string{"nmnist", "ibm-gesture", "shd"} {
+		net := must(Build(b, rng, ScaleTiny))
+		stim := benchStimulus(net, 10)
+		golden := net.Run(stim)
+
+		faulty := net.Clone()
+		start := len(net.Layers) / 2
+		faulty.Layers[start].SetNeuronMode(0, NeuronSaturated)
+		sc := net.NewScratch()
+		if err := sc.Bind(faulty); err != nil {
+			t.Fatalf("%s: bind: %v", b, err)
+		}
+		sc.RunFrom(start, golden, stim) // prewarm
+
+		if allocs := testing.AllocsPerRun(10, func() {
+			sc.RunFrom(start, golden, stim)
+		}); allocs != 0 {
+			t.Errorf("%s: golden-replay RunFrom allocated %v times per run; want 0", b, allocs)
+		}
+		if allocs := testing.AllocsPerRun(10, func() {
+			sc.DivergesFrom(start, golden, stim)
+		}); allocs != 0 {
+			t.Errorf("%s: DivergesFrom allocated %v times per run; want 0", b, allocs)
+		}
 	}
 }

@@ -1,0 +1,193 @@
+package snn
+
+import (
+	"github.com/repro/snntest/internal/tensor"
+)
+
+// Fused LIF step kernels: one pass per (layer, time step) that computes
+// the synaptic currents and the leak→threshold→reset→refractory update,
+// writing spikes straight into the record row. No intermediate tensor is
+// materialized — the per-layer scratch (membrane state, current row,
+// im2col column buffer) is preallocated in NewScratch — so a full
+// Run/RunFrom pass performs zero heap allocations.
+//
+// Every kernel reproduces the reference path (Projection.Forward +
+// stepLayer) bit for bit: per-neuron currents accumulate in the exact
+// floating-point order of MatVec / Conv2D / SumPool2D (see the im2col
+// numerical contract in internal/tensor for the padding zero-sign
+// caveat), and the LIF sweep is the very same stepLayer the reference
+// path runs, so the two paths cannot drift. The equivalence suite and
+// fuzz targets in this package pin the contract.
+
+// fusedKind selects a layer's kernel without interface dispatch in the
+// hot loop.
+type fusedKind uint8
+
+const (
+	fusedDense fusedKind = iota
+	fusedConv
+	fusedPool
+	fusedRecurrent
+)
+
+// layerKernel is the preallocated fused forward kernel of one layer.
+type layerKernel struct {
+	kind fusedKind
+	nn   int // neuron count
+	fan  int // flattened fan-in (dense/recurrent)
+
+	// cur is the preallocated synaptic-current scratch row. The current
+	// loops write it with no function calls in flight, so the compiler
+	// keeps the dot-product state in registers (calling lifUpdate from
+	// inside the accumulation loop forces a spill/reload per neuron —
+	// measurably slower than the reference MatVec on small layers).
+	cur []float64
+
+	// Weight data views, re-captured from the bound network at every pass
+	// entry: Scratch.Bind may re-point the scratch at a clone whose weight
+	// arrays differ, and fault injection lazily allocates override slices,
+	// so nothing weight- or fault-shaped is cached across passes.
+	w, r []float64
+
+	// Convolution geometry and column scratch.
+	inC, inH, inW int
+	outC, kh, kw  int
+	np, patch     int
+	spec          tensor.ConvSpec
+	col           []float64
+
+	// Pooling geometry.
+	pk     int
+	weight float64
+}
+
+// newLayerKernel sizes the fused kernel and its scratch for one layer.
+func newLayerKernel(l *Layer) *layerKernel {
+	k := &layerKernel{nn: l.NumNeurons()}
+	k.cur = make([]float64, k.nn)
+	switch p := l.Proj.(type) {
+	case *DenseProj:
+		k.kind = fusedDense
+		k.fan = p.W.Dim(1)
+	case *RecurrentProj:
+		k.kind = fusedRecurrent
+		k.fan = p.W.Dim(1)
+	case *ConvProj:
+		k.kind = fusedConv
+		in := p.InShape()
+		k.inC, k.inH, k.inW = in[0], in[1], in[2]
+		k.outC, k.kh, k.kw = p.K.Dim(0), p.K.Dim(2), p.K.Dim(3)
+		k.spec = p.Spec
+		out := p.OutShape()
+		k.np = out[1] * out[2]
+		k.patch = k.inC * k.kh * k.kw
+		k.col = make([]float64, tensor.Im2ColLen(k.inC, k.inH, k.inW, k.kh, k.kw, p.Spec))
+	case *PoolProj:
+		k.kind = fusedPool
+		in := p.InShape()
+		k.inC, k.inH, k.inW = in[0], in[1], in[2]
+		k.pk = p.KSize
+	default:
+		failf("snn: no fused kernel for projection kind %q", l.Proj.Kind())
+	}
+	return k
+}
+
+// bind re-captures the layer's weight storage for one pass.
+//
+//snn:hotpath
+func (k *layerKernel) bind(l *Layer) {
+	switch p := l.Proj.(type) {
+	case *DenseProj:
+		k.w = p.W.Data()
+	case *RecurrentProj:
+		k.w = p.W.Data()
+		k.r = p.R.Data()
+	case *ConvProj:
+		k.w = p.K.Data()
+	case *PoolProj:
+		k.weight = p.Weight
+	}
+}
+
+// step advances the layer by one time step: the synaptic currents are
+// accumulated into the preallocated k.cur scratch row by call-free loops,
+// then the shared stepLayer sweep applies the LIF update and writes the
+// spikes to out. The recurrent kernel reads st.lastSpike while computing
+// currents, and stepLayer only mutates it after every current is already
+// in k.cur — the same ordering the reference path gets by materializing
+// the current tensor before its stepLayer call.
+//
+//snn:hotpath
+func (k *layerKernel) step(l *Layer, st *fastLayerState, in, out []float64) {
+	cur := k.cur
+	switch k.kind {
+	case fusedDense:
+		// Slicing each weight row to exactly len(in) lets the compiler
+		// prove wrow[j] in bounds for every range index — no per-tap
+		// bounds check (the same trick recurs in the other kernels).
+		for i := 0; i < k.nn; i++ {
+			o := i * k.fan
+			wrow := k.w[o : o+len(in)]
+			c := 0.0
+			for j, xv := range in {
+				c += wrow[j] * xv
+			}
+			cur[i] = c
+		}
+	case fusedRecurrent:
+		last := st.lastSpike
+		for i := 0; i < k.nn; i++ {
+			o := i * k.fan
+			wrow := k.w[o : o+len(in)]
+			cW := 0.0
+			for j, xv := range in {
+				cW += wrow[j] * xv
+			}
+			o = i * k.nn
+			rrow := k.r[o : o+len(last)]
+			cR := 0.0
+			for j, lv := range last {
+				cR += rrow[j] * lv
+			}
+			cur[i] = cW + cR
+		}
+	case fusedConv:
+		tensor.Im2Col(k.col, in, k.inC, k.inH, k.inW, k.kh, k.kw, k.spec)
+		// Position-outer, channel-inner: each column row is read once and
+		// dotted against every kernel row while it is cache-hot (the whole
+		// kernel fits in L1; the column matrix does not), instead of
+		// re-streaming the column matrix per output channel. Each output
+		// element's accumulation order is unchanged.
+		for p := 0; p < k.np; p++ {
+			co := p * k.patch
+			crow := k.col[co : co+k.patch]
+			for oc := 0; oc < k.outC; oc++ {
+				wo := oc * k.patch
+				wrow := k.w[wo : wo+len(crow)]
+				c := 0.0
+				for j, cv := range crow {
+					c += wrow[j] * cv
+				}
+				cur[oc*k.np+p] = c
+			}
+		}
+	case fusedPool:
+		oh, ow := k.inH/k.pk, k.inW/k.pk
+		for ci := 0; ci < k.inC; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					c := 0.0
+					for ky := 0; ky < k.pk; ky++ {
+						row := in[(ci*k.inH+oy*k.pk+ky)*k.inW : (ci*k.inH+oy*k.pk+ky+1)*k.inW]
+						for kx := 0; kx < k.pk; kx++ {
+							c += row[ox*k.pk+kx]
+						}
+					}
+					cur[(ci*oh+oy)*ow+ox] = c * k.weight
+				}
+			}
+		}
+	}
+	stepLayer(l, st, cur, out)
+}

@@ -31,7 +31,18 @@ func (g *GraphResult) OutputLayer() int { return len(g.Spikes) - 1 }
 // ToRecord copies the forward spike values into a plain Record so that
 // the fast-path metrics can be reused on graph results.
 func (g *GraphResult) ToRecord(n *Network) *Record {
-	rec := NewRecord(n, g.Steps)
+	return g.ToRecordInto(n, nil)
+}
+
+// ToRecordInto is the buffer-reusing variant of ToRecord: when rec is
+// non-nil and already shaped for (n, g.Steps) it is overwritten in place
+// and returned; otherwise a fresh record is allocated. Iterating
+// optimizers pass their previous record back in, so the per-iteration
+// copy allocates nothing.
+func (g *GraphResult) ToRecordInto(n *Network, rec *Record) *Record {
+	if rec == nil || !rec.Matches(n, g.Steps) {
+		rec = NewRecord(n, g.Steps)
+	}
 	for li := range g.Spikes {
 		nn := n.Layers[li].NumNeurons()
 		for t, node := range g.Spikes[li] {
@@ -50,6 +61,21 @@ func (g *GraphResult) ToRecord(n *Network) *Record {
 // The network must be fault-free: test generation and training always run
 // on the golden model.
 func (n *Network) RunGraph(inputSteps []*ag.Node) *GraphResult {
+	return n.runGraph(inputSteps, false)
+}
+
+// RunGraphFused is RunGraph with the membrane update built from the
+// fused autograd LIF kernels (ag.OneMinusSpike, ag.LIFStep) instead of
+// the composed Scale/Mul/Add chain. Spike values and every gradient are
+// bit-identical to RunGraph — the fused ops replay the same float
+// sequence — so the fast generation engine uses it as a drop-in graph
+// builder; RunGraph remains the reference form the equivalence suite
+// pins it against.
+func (n *Network) RunGraphFused(inputSteps []*ag.Node) *GraphResult {
+	return n.runGraph(inputSteps, true)
+}
+
+func (n *Network) runGraph(inputSteps []*ag.Node, fused bool) *GraphResult {
 	if n.HasFaultOverrides() {
 		// Hot-path invariant: Generate and Train validate fault-freedom
 		// once at entry before their per-iteration RunGraph loops.
@@ -63,6 +89,7 @@ func (n *Network) RunGraph(inputSteps []*ag.Node) *GraphResult {
 		u         *ag.Node
 		lastSpike *ag.Node
 		refrac    []int
+		inRefrac  int // neurons with refrac > 0; gate is all-ones when 0
 	}
 	states := make([]*graphLayerState, len(n.Layers))
 	for i, l := range n.Layers {
@@ -83,38 +110,53 @@ func (n *Network) RunGraph(inputSteps []*ag.Node) *GraphResult {
 			cur := l.Proj.ForwardGraph(in, lastOut)
 
 			// gate: 0 while refractory, 1 otherwise (non-differentiable,
-			// computed from recorded binary spikes, hence constant).
-			gate := tensor.New(cur.Value.Shape()...)
-			gd := gate.Data()
-			for i := range gd {
-				if st.refrac[i] == 0 {
-					gd[i] = 1
+			// computed from recorded binary spikes, hence constant). It
+			// inherits the current's arena, if any: the gate is only read
+			// within this graph's lifetime. The fused path elides an
+			// all-ones gate outright — multiplying by exactly 1.0 is the
+			// identity in every float, so the elision is bit-invisible.
+			var gate *tensor.Tensor
+			if !fused || st.inRefrac > 0 {
+				gate = tensor.NewLike(cur.Value, cur.Value.Shape()...)
+				gd := gate.Data()
+				for i := range gd {
+					if st.refrac[i] == 0 {
+						gd[i] = 1
+					}
 				}
 			}
 
 			// u_t = gate ⊙ (leak·u_{t-1}·(1 − s_{t-1}) + I_t)
 			var u *ag.Node
-			if st.u == nil {
+			switch {
+			case st.u == nil && gate == nil:
 				u = cur
-			} else {
+			case st.u == nil:
+				u = ag.Mul(cur, ag.Const(gate))
+			case fused:
+				u = ag.LIFStep(st.u, ag.OneMinusSpike(st.lastSpike), cur, gate, l.LIF.Leak)
+			default:
 				keep := ag.Scale(st.u, l.LIF.Leak)
 				if st.lastSpike != nil {
 					oneMinus := ag.AddScalar(ag.Neg(st.lastSpike), 1)
 					keep = ag.Mul(keep, oneMinus)
 				}
-				u = ag.Add(keep, cur)
+				u = ag.Mul(ag.Add(keep, cur), ag.Const(gate))
 			}
-			u = ag.Mul(u, ag.Const(gate))
 
 			s := ag.Spike(u, l.LIF.Threshold, ag.SurrogateScale)
 
 			// Refractory bookkeeping from the realized binary spikes.
 			sv := s.Value.Data()
+			st.inRefrac = 0
 			for i := range st.refrac {
 				if st.refrac[i] > 0 {
 					st.refrac[i]--
 				} else if sv[i] == 1 { //lint:ignore floateq realized spikes are exactly 0 or 1
 					st.refrac[i] = l.LIF.Refractory
+				}
+				if st.refrac[i] > 0 {
+					st.inRefrac++
 				}
 			}
 

@@ -183,24 +183,35 @@ func (st *fastLayerState) reset() {
 }
 
 // Scratch holds reusable simulation state — per-layer membrane/refractory
-// buffers and spike-record storage — so repeated Run/RunFrom calls (a
-// fault-simulation campaign simulates one run per fault) allocate nothing
-// per run. A Scratch belongs to one goroutine; the record returned by its
-// RunFrom is overwritten by the next call.
+// buffers, fused kernels with their column scratch, and spike-record
+// storage — so repeated Run/RunFrom calls (a fault-simulation campaign
+// simulates one run per fault) allocate nothing per run. A Scratch belongs
+// to one goroutine; the record returned by its RunFrom is overwritten by
+// the next call.
 type Scratch struct {
 	net    *Network
 	states []*fastLayerState
 	// own[li] is the scratch-owned spike buffer of layer li, lazily sized
 	// to the current step count. Record layers below the replay start
 	// alias the golden record instead, so the two sets are kept separate.
-	own []*tensor.Tensor
+	own     []*tensor.Tensor
+	kernels []*layerKernel
+	// rec is the reusable result record; every runFrom call rewrites its
+	// Steps and Layers in place.
+	rec *Record
+	// frame is the flattened length of one stimulus frame.
+	frame int
+	// reference selects the allocating reference path (Projection.Forward
+	// + stepLayer) over the fused kernels; see SetReference.
+	reference bool
 }
 
 // NewScratch allocates reusable simulation state for this network. The
-// scratch is tied to the network's geometry, so it is equally valid for
-// any clone of the network (fault injectors simulate on clones).
+// scratch is tied to the network's geometry; use Bind to re-point it at a
+// geometry-identical clone (fault injectors simulate on clones).
 func (n *Network) NewScratch() *Scratch {
 	states := make([]*fastLayerState, len(n.Layers))
+	kernels := make([]*layerKernel, len(n.Layers))
 	for i, l := range n.Layers {
 		nn := l.NumNeurons()
 		st := &fastLayerState{
@@ -214,8 +225,83 @@ func (n *Network) NewScratch() *Scratch {
 			st.lastSpikeT = tensor.FromSlice(st.lastSpike, nn)
 		}
 		states[i] = st
+		kernels[i] = newLayerKernel(l)
 	}
-	return &Scratch{net: n, states: states, own: make([]*tensor.Tensor, len(n.Layers))}
+	return &Scratch{
+		net:     n,
+		states:  states,
+		own:     make([]*tensor.Tensor, len(n.Layers)),
+		kernels: kernels,
+		rec:     &Record{Layers: make([]*tensor.Tensor, len(n.Layers))},
+		frame:   n.InputLen(),
+	}
+}
+
+// SetReference switches the scratch onto the reference simulation path:
+// per-step Projection.Forward tensor materialization followed by the
+// plain stepLayer kernel. The fused path (the default) is bit-identical
+// to it; the reference path is kept as the differential baseline for the
+// equivalence/fuzz harness and the BENCH_forward comparison.
+func (s *Scratch) SetReference(on bool) { s.reference = on }
+
+// Bind re-points the scratch at net, which must be geometry-identical to
+// the network the scratch was built for (layer kinds, shapes, synapse
+// counts, conv/pool window parameters). Fault injectors bind one scratch
+// to each faulty clone instead of re-allocating; binding an incompatible
+// network is an error rather than a silent read of stale-shaped buffers.
+func (s *Scratch) Bind(net *Network) error {
+	if err := compatibleGeometry(s.net, net); err != nil {
+		return err
+	}
+	s.net = net
+	return nil
+}
+
+// compatibleGeometry reports whether a scratch built for network a can
+// simulate network b without resizing any buffer.
+func compatibleGeometry(a, b *Network) error {
+	if len(a.Layers) != len(b.Layers) {
+		return fmt.Errorf("snn: scratch bind: %d layers vs %d", len(a.Layers), len(b.Layers))
+	}
+	if !intsEq(a.InShape, b.InShape) {
+		return fmt.Errorf("snn: scratch bind: input shape %v vs %v", a.InShape, b.InShape)
+	}
+	for i := range a.Layers {
+		pa, pb := a.Layers[i].Proj, b.Layers[i].Proj
+		if pa.Kind() != pb.Kind() ||
+			!intsEq(pa.InShape(), pb.InShape()) ||
+			!intsEq(pa.OutShape(), pb.OutShape()) ||
+			pa.NumSynapses() != pb.NumSynapses() {
+			return fmt.Errorf("snn: scratch bind: layer %d %s %v→%v incompatible with %s %v→%v",
+				i, pa.Kind(), pa.InShape(), pa.OutShape(), pb.Kind(), pb.InShape(), pb.OutShape())
+		}
+		switch ca := pa.(type) {
+		case *ConvProj:
+			cb := pb.(*ConvProj)
+			if !intsEq(ca.K.Shape(), cb.K.Shape()) || ca.Spec != cb.Spec {
+				return fmt.Errorf("snn: scratch bind: layer %d conv kernel %v %+v vs %v %+v",
+					i, ca.K.Shape(), ca.Spec, cb.K.Shape(), cb.Spec)
+			}
+		case *PoolProj:
+			kb := pb.(*PoolProj)
+			if ca.KSize != kb.KSize {
+				return fmt.Errorf("snn: scratch bind: layer %d pool window %d vs %d", i, ca.KSize, kb.KSize)
+			}
+		}
+	}
+	return nil
+}
+
+func intsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // runFrom is the single simulation loop behind Run, RunFrom and
@@ -248,7 +334,15 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 				golden.Steps, len(golden.Layers), steps, len(n.Layers))
 		}
 	}
-	rec := &Record{Steps: steps, Layers: make([]*tensor.Tensor, len(n.Layers))}
+	if golden != nil {
+		for li := start; li < len(n.Layers); li++ {
+			if s.own[li] != nil && golden.Layers[li] == s.own[li] {
+				failf("snn: golden record aliases this scratch's buffers at layer %d; produce the golden record with a separate scratch", li)
+			}
+		}
+	}
+	rec := s.rec
+	rec.Steps = steps
 	for li := 0; li < start; li++ {
 		rec.Layers[li] = golden.Layers[li]
 	}
@@ -258,6 +352,11 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 		}
 		rec.Layers[li] = s.own[li]
 		s.states[li].reset()
+	}
+	if !s.reference {
+		for li := start; li < len(n.Layers); li++ {
+			s.kernels[li].bind(n.Layers[li])
+		}
 	}
 	var outRow, goldenRow *tensor.Tensor
 	if stopOnDiverge {
@@ -269,26 +368,12 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 	}
 	layerSteps := 0
 	for t := 0; t < steps; t++ {
-		var in *tensor.Tensor
-		if start == 0 {
-			in = stimulus.Step(t)
+		if s.reference {
+			s.referenceStep(start, t, stimulus, golden, rec)
 		} else {
-			in = golden.ReplayInput(start, t)
+			s.fusedStep(start, t, stimulus, golden, rec)
 		}
-		for li := start; li < len(n.Layers); li++ {
-			l := n.Layers[li]
-			st := s.states[li]
-			var lastOut *tensor.Tensor
-			if st.recurrent {
-				lastOut = st.lastSpikeT
-			}
-			cur := l.Proj.Forward(in, lastOut)
-			cd := cur.Data()
-			out := rec.Layers[li].RawRange(t*len(cd), len(cd))
-			stepLayer(l, st, cd, out)
-			layerSteps++
-			in = tensor.FromSlice(out, st.outShape...)
-		}
+		layerSteps += len(n.Layers) - start
 		if stopOnDiverge && !tensor.RowEqual(outRow, goldenRow, t) {
 			if obs.On() {
 				s.observe(rec, start, t+1, layerSteps, time.Since(t0))
@@ -328,41 +413,140 @@ func (s *Scratch) observe(rec *Record, start, simSteps, layerSteps int, elapsed 
 	obsSpikes.Add(spikes)
 }
 
+// fusedStep advances every simulated layer by one time step on the fused
+// zero-allocation path: raw stimulus/golden/record rows flow between the
+// layer kernels as plain slices, with no tensor headers materialized.
+//
+//snn:hotpath
+func (s *Scratch) fusedStep(start, t int, stimulus *tensor.Tensor, golden *Record, rec *Record) {
+	n := s.net
+	var in []float64
+	if start == 0 {
+		in = stimulus.RawRange(t*s.frame, s.frame)
+	} else {
+		w := n.Layers[start-1].NumNeurons()
+		in = golden.Layers[start-1].RawRange(t*w, w)
+	}
+	for li := start; li < len(n.Layers); li++ {
+		k := s.kernels[li]
+		out := rec.Layers[li].RawRange(t*k.nn, k.nn)
+		k.step(n.Layers[li], s.states[li], in, out)
+		in = out
+	}
+}
+
+// referenceStep advances every simulated layer by one time step on the
+// reference path: per-layer Projection.Forward materializes the synaptic
+// current tensor, then stepLayer applies the LIF update. It allocates per
+// (layer, step) by design — this is the differential baseline the fused
+// kernels are pinned against.
+func (s *Scratch) referenceStep(start, t int, stimulus *tensor.Tensor, golden *Record, rec *Record) {
+	n := s.net
+	var in *tensor.Tensor
+	if start == 0 {
+		in = stimulus.Step(t)
+	} else {
+		in = golden.ReplayInput(start, t)
+	}
+	for li := start; li < len(n.Layers); li++ {
+		l := n.Layers[li]
+		st := s.states[li]
+		var lastOut *tensor.Tensor
+		if st.recurrent {
+			lastOut = st.lastSpikeT
+		}
+		cur := l.Proj.Forward(in, lastOut)
+		cd := cur.Data()
+		out := rec.Layers[li].RawRange(t*len(cd), len(cd))
+		stepLayer(l, st, cd, out)
+		in = tensor.FromSlice(out, st.outShape...)
+	}
+}
+
+// lifUpdate applies one LIF update to neuron i given its synaptic current
+// c, returning the emitted spike (0 or 1). It is the single source of
+// truth for the membrane dynamics: the reference stepLayer and every
+// fused kernel call it, so the two simulation paths cannot drift.
+//
+//snn:hotpath
+func lifUpdate(l *Layer, st *fastLayerState, i int, c float64) float64 {
+	switch l.mode(i) {
+	case NeuronDead:
+		// Halts propagation: never fires. Membrane bookkeeping
+		// is irrelevant downstream; keep it reset.
+		st.u[i] = 0
+		return 0
+	case NeuronSaturated:
+		// Fires non-stop regardless of input or refractoriness.
+		st.u[i] = 0
+		return 1
+	}
+	gate := 1.0
+	if st.refrac[i] > 0 {
+		gate = 0
+	}
+	u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + c)
+	fired := u > l.threshold(i)
+	st.u[i] = u
+	if st.refrac[i] > 0 {
+		st.refrac[i]--
+	} else if fired {
+		st.refrac[i] = l.refractory(i)
+	}
+	if fired {
+		return 1
+	}
+	return 0
+}
+
 // stepLayer advances one layer by one time step: cd is the synaptic
 // current, out receives the output spikes, st carries the LIF state.
+// Both engines run their LIF sweep through this function — the reference
+// path from referenceStep, the fused kernels from layerKernel.step — so
+// the membrane dynamics cannot drift between them.
+//
+// A layer with no fault overrides takes a specialized loop with the
+// layer-wide LIF parameters hoisted out: it evaluates the exact
+// expression lifUpdate evaluates with the exact values the per-neuron
+// accessors would return, just without re-checking the override slices
+// for every neuron. TestStepLayerHealthyMatchesOverrides pins the two
+// loops against each other bit for bit.
 //
 //snn:hotpath
 func stepLayer(l *Layer, st *fastLayerState, cd, out []float64) {
-	for i := range cd {
-		var s float64
-		switch l.mode(i) {
-		case NeuronDead:
-			// Halts propagation: never fires. Membrane bookkeeping
-			// is irrelevant downstream; keep it reset.
-			st.u[i] = 0
-		case NeuronSaturated:
-			// Fires non-stop regardless of input or refractoriness.
+	if l.HasFaultOverrides() {
+		for i := range cd {
+			s := lifUpdate(l, st, i, cd[i])
+			out[i] = s
+			st.lastSpike[i] = s
+		}
+		return
+	}
+	leak, th := l.LIF.Leak, l.LIF.Threshold
+	refr := l.LIF.Refractory
+	u := st.u[:len(cd)]
+	last := st.lastSpike[:len(cd)]
+	refrac := st.refrac[:len(cd)]
+	out = out[:len(cd)]
+	for i, c := range cd {
+		gate := 1.0
+		if refrac[i] > 0 {
+			gate = 0
+		}
+		v := gate * (leak*u[i]*(1-last[i]) + c)
+		fired := v > th
+		u[i] = v
+		if refrac[i] > 0 {
+			refrac[i]--
+		} else if fired {
+			refrac[i] = refr
+		}
+		s := 0.0
+		if fired {
 			s = 1
-			st.u[i] = 0
-		default:
-			gate := 1.0
-			if st.refrac[i] > 0 {
-				gate = 0
-			}
-			u := gate * (l.leak(i)*st.u[i]*(1-st.lastSpike[i]) + cd[i])
-			fired := u > l.threshold(i)
-			if fired {
-				s = 1
-			}
-			st.u[i] = u
-			if st.refrac[i] > 0 {
-				st.refrac[i]--
-			} else if fired {
-				st.refrac[i] = l.refractory(i)
-			}
 		}
 		out[i] = s
-		st.lastSpike[i] = s
+		last[i] = s
 	}
 }
 

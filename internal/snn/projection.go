@@ -70,6 +70,9 @@ type DenseProj struct {
 	out   int
 	in    int
 	wLeaf *ag.Node
+	// inShape/outShape are cached so shape accessors stay allocation-free
+	// (NumNeurons runs on the simulation hot path).
+	inShape, outShape []int
 }
 
 // NewDenseProj creates a dense projection with the given weight matrix.
@@ -77,12 +80,14 @@ func NewDenseProj(w *tensor.Tensor) (*DenseProj, error) {
 	if w.Rank() != 2 {
 		return nil, fmt.Errorf("snn: dense weights must be rank 2, got %v", w.Shape())
 	}
-	return &DenseProj{W: w, out: w.Dim(0), in: w.Dim(1)}, nil
+	p := &DenseProj{W: w, out: w.Dim(0), in: w.Dim(1)}
+	p.inShape, p.outShape = []int{p.in}, []int{p.out}
+	return p, nil
 }
 
 func (p *DenseProj) Kind() string            { return "dense" }
-func (p *DenseProj) InShape() []int          { return []int{p.in} }
-func (p *DenseProj) OutShape() []int         { return []int{p.out} }
+func (p *DenseProj) InShape() []int          { return p.inShape }
+func (p *DenseProj) OutShape() []int         { return p.outShape }
 func (p *DenseProj) NumSynapses() int        { return p.W.Len() }
 func (p *DenseProj) Weights() *tensor.Tensor { return p.W }
 
@@ -102,7 +107,9 @@ func (p *DenseProj) ParamLeaves() []*ag.Node {
 }
 
 func (p *DenseProj) Clone() Projection {
-	return &DenseProj{W: p.W.Clone(), out: p.out, in: p.in}
+	c := &DenseProj{W: p.W.Clone(), out: p.out, in: p.in}
+	c.inShape, c.outShape = []int{c.in}, []int{c.out}
+	return c
 }
 
 func (p *DenseProj) FanIn() *tensor.Tensor { return p.W }
@@ -270,6 +277,9 @@ type RecurrentProj struct {
 	R     *tensor.Tensor // [out, out]
 	wLeaf *ag.Node
 	rLeaf *ag.Node
+	// inShape/outShape are cached so shape accessors stay allocation-free
+	// (NumNeurons runs on the simulation hot path).
+	inShape, outShape []int
 }
 
 // NewRecurrentProj creates a recurrent projection from feedforward and
@@ -278,12 +288,12 @@ func NewRecurrentProj(w, r *tensor.Tensor) (*RecurrentProj, error) {
 	if w.Rank() != 2 || r.Rank() != 2 || r.Dim(0) != r.Dim(1) || r.Dim(0) != w.Dim(0) {
 		return nil, fmt.Errorf("snn: recurrent projection shapes invalid: W %v, R %v", w.Shape(), r.Shape())
 	}
-	return &RecurrentProj{W: w, R: r}, nil
+	return &RecurrentProj{W: w, R: r, inShape: []int{w.Dim(1)}, outShape: []int{w.Dim(0)}}, nil
 }
 
 func (p *RecurrentProj) Kind() string    { return "recurrent" }
-func (p *RecurrentProj) InShape() []int  { return []int{p.W.Dim(1)} }
-func (p *RecurrentProj) OutShape() []int { return []int{p.W.Dim(0)} }
+func (p *RecurrentProj) InShape() []int  { return p.inShape }
+func (p *RecurrentProj) OutShape() []int { return p.outShape }
 
 // NumSynapses counts both feedforward and recurrent connections.
 func (p *RecurrentProj) NumSynapses() int { return p.W.Len() + p.R.Len() }
@@ -321,7 +331,8 @@ func (p *RecurrentProj) ParamLeaves() []*ag.Node {
 }
 
 func (p *RecurrentProj) Clone() Projection {
-	return &RecurrentProj{W: p.W.Clone(), R: p.R.Clone()}
+	w := p.W.Clone()
+	return &RecurrentProj{W: w, R: p.R.Clone(), inShape: []int{w.Dim(1)}, outShape: []int{w.Dim(0)}}
 }
 
 // FanIn concatenates W and R column-wise: each neuron's fan-in covers its

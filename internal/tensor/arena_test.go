@@ -1,0 +1,90 @@
+package tensor
+
+import "testing"
+
+func TestArenaNewZeroesRecycledMemory(t *testing.T) {
+	a := NewArena()
+	x := a.New(4, 4)
+	for i := range x.Data() {
+		x.Data()[i] = 7
+	}
+	a.Reset()
+	y := a.New(4, 4)
+	for i, v := range y.Data() {
+		if v != 0 {
+			t.Fatalf("recycled arena tensor not zeroed at %d: %g", i, v)
+		}
+	}
+	if &x.Data()[0] != &y.Data()[0] {
+		t.Fatal("Reset must recycle the data block, not allocate a new one")
+	}
+}
+
+func TestArenaTagPropagatesThroughOps(t *testing.T) {
+	a := NewArena()
+	x := a.New(3)
+	y := Add(x, New(3))
+	if y.ar != a {
+		t.Fatal("Add result of an arena tensor must be arena-tagged")
+	}
+	if z := Add(New(3), x); z.ar != a {
+		t.Fatal("arena tag must propagate from either operand")
+	}
+	if r := y.Reshape(3, 1); r.ar != a {
+		t.Fatal("Reshape view must inherit the arena tag")
+	}
+	if s := y.Reshape(1, 3).Step(0); s.ar != a {
+		t.Fatal("Step view must inherit the arena tag")
+	}
+	if v := y.ViewRange(1, 2, 2); v.ar != a {
+		t.Fatal("ViewRange view must inherit the arena tag")
+	}
+	if c := y.Clone(); c.ar != nil {
+		t.Fatal("Clone must escape to the heap (survives Reset)")
+	}
+}
+
+func TestArenaAdoptRootsPropagationWithoutOwningStorage(t *testing.T) {
+	a := NewArena()
+	root := New(5)
+	root.Fill(3)
+	a.Adopt(root)
+	d := Scale(root, 2)
+	if d.ar != a {
+		t.Fatal("result derived from an adopted tensor must be arena-backed")
+	}
+	a.Reset()
+	for _, v := range root.Data() {
+		if v != 3 {
+			t.Fatal("adopted tensor's heap storage must survive Reset")
+		}
+	}
+}
+
+func TestArenaLargeAllocationGetsDedicatedBlock(t *testing.T) {
+	a := NewArena()
+	big := a.New(arenaDataBlock + 10)
+	if big.Len() != arenaDataBlock+10 {
+		t.Fatalf("big alloc length %d", big.Len())
+	}
+	small := a.New(8)
+	_ = small
+	a.Reset()
+	again := a.New(arenaDataBlock + 10)
+	if &big.Data()[0] != &again.Data()[0] {
+		t.Fatal("oversized block must be reused after Reset")
+	}
+}
+
+func TestNewLikeHeapFallback(t *testing.T) {
+	x := New(2, 2)
+	if y := NewLike(x, 4); y.ar != nil {
+		t.Fatal("NewLike of an untagged tensor must stay on the heap")
+	}
+	if y := NewLike(nil, 4); y.ar != nil || y.Len() != 4 {
+		t.Fatal("NewLike(nil) must behave like New")
+	}
+	if f := FullLike(nil, 2.5, 3); f.Data()[1] != 2.5 {
+		t.Fatal("FullLike must fill with v")
+	}
+}

@@ -15,6 +15,14 @@ func ConvOutDim(in, k, stride, pad int) int {
 // Conv2D computes the cross-correlation of input x [inC,H,W] with kernel
 // w [outC,inC,kH,kW], producing [outC,outH,outW]. Stride and padding follow
 // the usual CNN convention; bias is not applied (spiking layers have none).
+//
+// When the result is arena-backed (an operand is arena-tagged) the
+// convolution runs through the im2col kernel with the column buffer drawn
+// from the same arena: the fast generation engine gets the branch-free
+// path while heap callers — including the reference engine — keep the
+// naive loops below, which remain the comparison baseline. The two paths
+// are bit-identical (see the im2col numerical contract; the fuzz harness
+// differentiates them).
 func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	if x.Rank() != 3 || w.Rank() != 4 {
 		failf("Conv2D requires input rank 3 and kernel rank 4, got %v and %v", x.shape, w.shape)
@@ -29,27 +37,28 @@ func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		failf("Conv2D produces empty output for input %v kernel %v spec %+v", x.shape, w.shape, spec)
 	}
-	out := New(outC, oh, ow)
+	out := newResult(x, w, outC, oh, ow)
+	if out.ar != nil {
+		col := out.ar.allocDataUnzeroed(Im2ColLen(inC, h, wd, kh, kw, spec))
+		Im2Col(col, x.data, inC, h, wd, kh, kw, spec)
+		Conv2DColInto(out.data, col, w)
+		return out
+	}
 	for oc := 0; oc < outC; oc++ {
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*spec.Stride - spec.Pad
+			ky0, ky1 := clampKernelRange(iy0, kh, h)
 			for ox := 0; ox < ow; ox++ {
 				s := 0.0
-				iy0 := oy*spec.Stride - spec.Pad
 				ix0 := ox*spec.Stride - spec.Pad
+				kx0, kx1 := clampKernelRange(ix0, kw, wd)
 				for ic := 0; ic < inC; ic++ {
-					for ky := 0; ky < kh; ky++ {
+					for ky := ky0; ky < ky1; ky++ {
 						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
 						xrow := x.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
 						wrow := w.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							s += xrow[ix] * wrow[kx]
+						for kx := kx0; kx < kx1; kx++ {
+							s += xrow[ix0+kx] * wrow[kx]
 						}
 					}
 				}
@@ -60,36 +69,50 @@ func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	return out
 }
 
+// clampKernelRange returns the half-open kernel-coordinate range [k0, k1)
+// whose taps land inside an input axis of the given size when the window
+// origin is at i0. Out-of-range taps read zero padding and contribute
+// nothing, so iterating only the clamped range preserves the exact
+// accumulation sequence of the full branchy loop.
+func clampKernelRange(i0, k, size int) (int, int) {
+	k0, k1 := 0, k
+	if i0 < 0 {
+		k0 = -i0
+	}
+	if i0+k1 > size {
+		k1 = size - i0
+	}
+	if k1 < k0 {
+		k1 = k0
+	}
+	return k0, k1
+}
+
 // Conv2DBackwardInput returns ∂L/∂x given upstream gradient g [outC,outH,outW]
 // for Conv2D(x, w, spec) with input shape [inC,H,W].
 func Conv2DBackwardInput(g, w *Tensor, inShape []int, spec ConvSpec) *Tensor {
 	inC, h, wd := inShape[0], inShape[1], inShape[2]
 	outC, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
 	oh, ow := g.shape[1], g.shape[2]
-	dx := New(inC, h, wd)
+	dx := newResult(g, w, inC, h, wd)
 	for oc := 0; oc < outC; oc++ {
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*spec.Stride - spec.Pad
+			ky0, ky1 := clampKernelRange(iy0, kh, h)
 			for ox := 0; ox < ow; ox++ {
 				gv := g.data[(oc*oh+oy)*ow+ox]
 				if gv == 0 {
 					continue
 				}
-				iy0 := oy*spec.Stride - spec.Pad
 				ix0 := ox*spec.Stride - spec.Pad
+				kx0, kx1 := clampKernelRange(ix0, kw, wd)
 				for ic := 0; ic < inC; ic++ {
-					for ky := 0; ky < kh; ky++ {
+					for ky := ky0; ky < ky1; ky++ {
 						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
 						drow := dx.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
 						wrow := w.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							drow[ix] += gv * wrow[kx]
+						for kx := kx0; kx < kx1; kx++ {
+							drow[ix0+kx] += gv * wrow[kx]
 						}
 					}
 				}
@@ -105,30 +128,25 @@ func Conv2DBackwardKernel(g, x *Tensor, kShape []int, spec ConvSpec) *Tensor {
 	outC, inC, kh, kw := kShape[0], kShape[1], kShape[2], kShape[3]
 	h, wd := x.shape[1], x.shape[2]
 	oh, ow := g.shape[1], g.shape[2]
-	dw := New(outC, inC, kh, kw)
+	dw := newResult(g, x, outC, inC, kh, kw)
 	for oc := 0; oc < outC; oc++ {
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*spec.Stride - spec.Pad
+			ky0, ky1 := clampKernelRange(iy0, kh, h)
 			for ox := 0; ox < ow; ox++ {
 				gv := g.data[(oc*oh+oy)*ow+ox]
 				if gv == 0 {
 					continue
 				}
-				iy0 := oy*spec.Stride - spec.Pad
 				ix0 := ox*spec.Stride - spec.Pad
+				kx0, kx1 := clampKernelRange(ix0, kw, wd)
 				for ic := 0; ic < inC; ic++ {
-					for ky := 0; ky < kh; ky++ {
+					for ky := ky0; ky < ky1; ky++ {
 						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
 						xrow := x.data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
 						wrow := dw.data[((oc*inC+ic)*kh+ky)*kw : ((oc*inC+ic)*kh+ky+1)*kw]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							wrow[kx] += gv * xrow[ix]
+						for kx := kx0; kx < kx1; kx++ {
+							wrow[kx] += gv * xrow[ix0+kx]
 						}
 					}
 				}
@@ -149,7 +167,7 @@ func SumPool2D(x *Tensor, k int) *Tensor {
 		failf("SumPool2D input %v not divisible by window %d", x.shape, k)
 	}
 	oh, ow := h/k, w/k
-	out := New(c, oh, ow)
+	out := NewLike(x, c, oh, ow)
 	for ci := 0; ci < c; ci++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -172,7 +190,7 @@ func SumPool2D(x *Tensor, k int) *Tensor {
 func SumPool2DBackward(g *Tensor, inShape []int, k int) *Tensor {
 	c, h, w := inShape[0], inShape[1], inShape[2]
 	oh, ow := g.shape[1], g.shape[2]
-	dx := New(c, h, w)
+	dx := NewLike(g, c, h, w)
 	for ci := 0; ci < c; ci++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {

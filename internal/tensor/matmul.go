@@ -10,7 +10,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		failf("MatMul inner dimension mismatch %v × %v", a.shape, b.shape)
 	}
-	out := New(m, n)
+	out := newResult(a, b, m, n)
 	// ikj loop order keeps the inner loop streaming over contiguous rows.
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]
@@ -38,7 +38,7 @@ func MatVec(w, x *Tensor) *Tensor {
 	if x.Len() != cols {
 		failf("MatVec dimension mismatch %v · %v", w.shape, x.shape)
 	}
-	out := New(rows)
+	out := newResult(w, x, rows)
 	xd := x.data
 	for i := 0; i < rows; i++ {
 		wrow := w.data[i*cols : (i+1)*cols]
@@ -58,7 +58,7 @@ func MatVecT(w, g *Tensor) *Tensor {
 	if g.Len() != rows {
 		failf("MatVecT dimension mismatch %vᵀ · %v", w.shape, g.shape)
 	}
-	out := New(cols)
+	out := newResult(w, g, cols)
 	for i := 0; i < rows; i++ {
 		gv := g.data[i]
 		if gv == 0 {
@@ -76,7 +76,7 @@ func MatVecT(w, g *Tensor) *Tensor {
 // gradient of MatVec(w, x) with respect to w.
 func Outer(g, x *Tensor) *Tensor {
 	rows, cols := g.Len(), x.Len()
-	out := New(rows, cols)
+	out := newResult(g, x, rows, cols)
 	for i := 0; i < rows; i++ {
 		gv := g.data[i]
 		if gv == 0 {

@@ -5,7 +5,7 @@ import "math"
 // Add returns a + b elementwise.
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("Add", a, b)
-	out := New(a.shape...)
+	out := newResult(a, b, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] + b.data[i]
 	}
@@ -15,7 +15,7 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("Sub", a, b)
-	out := New(a.shape...)
+	out := newResult(a, b, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] - b.data[i]
 	}
@@ -25,7 +25,7 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns a * b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("Mul", a, b)
-	out := New(a.shape...)
+	out := newResult(a, b, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] * b.data[i]
 	}
@@ -35,7 +35,7 @@ func Mul(a, b *Tensor) *Tensor {
 // Div returns a / b elementwise.
 func Div(a, b *Tensor) *Tensor {
 	assertSameShape("Div", a, b)
-	out := New(a.shape...)
+	out := newResult(a, b, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] / b.data[i]
 	}
@@ -44,7 +44,7 @@ func Div(a, b *Tensor) *Tensor {
 
 // Scale returns a * s elementwise.
 func Scale(a *Tensor, s float64) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] * s
 	}
@@ -53,7 +53,7 @@ func Scale(a *Tensor, s float64) *Tensor {
 
 // AddScalar returns a + s elementwise.
 func AddScalar(a *Tensor, s float64) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] + s
 	}
@@ -65,7 +65,7 @@ func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
 
 // Abs returns |a| elementwise.
 func Abs(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = math.Abs(a.data[i])
 	}
@@ -74,7 +74,7 @@ func Abs(a *Tensor) *Tensor {
 
 // Relu returns max(0, a) elementwise.
 func Relu(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		if a.data[i] > 0 {
 			out.data[i] = a.data[i]
@@ -85,7 +85,7 @@ func Relu(a *Tensor) *Tensor {
 
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func Sigmoid(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = 1 / (1 + math.Exp(-a.data[i]))
 	}
@@ -94,7 +94,7 @@ func Sigmoid(a *Tensor) *Tensor {
 
 // Exp returns exp(a) elementwise.
 func Exp(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = math.Exp(a.data[i])
 	}
@@ -103,7 +103,7 @@ func Exp(a *Tensor) *Tensor {
 
 // Square returns a² elementwise.
 func Square(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] * a.data[i]
 	}
@@ -112,7 +112,7 @@ func Square(a *Tensor) *Tensor {
 
 // Heaviside returns 1 where a > threshold, else 0, elementwise.
 func Heaviside(a *Tensor, threshold float64) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		if a.data[i] > threshold {
 			out.data[i] = 1
@@ -123,7 +123,7 @@ func Heaviside(a *Tensor, threshold float64) *Tensor {
 
 // Clamp limits every element of a to [lo, hi].
 func Clamp(a *Tensor, lo, hi float64) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		v := a.data[i]
 		if v < lo {
@@ -187,7 +187,7 @@ func AddScaledInPlace(dst *Tensor, s float64, src *Tensor) {
 
 // Apply returns f applied elementwise to a.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	for i := range a.data {
 		out.data[i] = f(a.data[i])
 	}

@@ -137,7 +137,7 @@ func CountNonZero(a *Tensor, eps float64) int {
 // length Dim(0): out[i] = Σⱼ a[i,j].
 func SumRows(a *Tensor) *Tensor {
 	rows, cols := a.shape[0], a.shape[1]
-	out := New(rows)
+	out := NewLike(a, rows)
 	for i := 0; i < rows; i++ {
 		s := 0.0
 		row := a.data[i*cols : (i+1)*cols]
@@ -153,7 +153,7 @@ func SumRows(a *Tensor) *Tensor {
 // length Dim(1): out[j] = Σᵢ a[i,j].
 func SumCols(a *Tensor) *Tensor {
 	rows, cols := a.shape[0], a.shape[1]
-	out := New(cols)
+	out := NewLike(a, cols)
 	for i := 0; i < rows; i++ {
 		row := a.data[i*cols : (i+1)*cols]
 		for j, v := range row {
@@ -165,7 +165,7 @@ func SumCols(a *Tensor) *Tensor {
 
 // Softmax returns the softmax of a vector, computed stably.
 func Softmax(a *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewLike(a, a.shape...)
 	m := Max(a)
 	s := 0.0
 	for i, v := range a.data {

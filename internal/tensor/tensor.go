@@ -22,7 +22,15 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+	// ar tags tensors rooted in an Arena: operations materializing a
+	// result from this tensor allocate it from ar instead of the heap.
+	// nil (the common case) keeps plain heap allocation.
+	ar *Arena
 }
+
+// Arena returns the arena this tensor is tagged with (allocated from, or
+// adopted into), or nil for plain heap tensors.
+func (t *Tensor) Arena() *Arena { return t.ar }
 
 // New returns a zero-filled tensor with the given shape. A nil or empty
 // shape produces a scalar (one element, rank 0).
@@ -129,10 +137,13 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 }
 
 // Reshape returns a tensor sharing t's backing data with a new shape of the
-// same element count.
+// same element count. The view inherits t's arena tag.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if numel(shape) != len(t.data) {
 		failf("cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, numel(shape))
+	}
+	if t.ar != nil {
+		return t.ar.header(shape, t.data)
 	}
 	return &Tensor{shape: cloneShape(shape), data: t.data}
 }
@@ -193,7 +204,26 @@ func (t *Tensor) Step(i int) *Tensor {
 	for _, d := range t.shape[1:] {
 		frame *= d
 	}
-	return &Tensor{shape: cloneShape(t.shape[1:]), data: t.data[i*frame : (i+1)*frame : (i+1)*frame]}
+	view := t.data[i*frame : (i+1)*frame : (i+1)*frame]
+	if t.ar != nil {
+		return t.ar.header(t.shape[1:], view)
+	}
+	return &Tensor{shape: cloneShape(t.shape[1:]), data: view}
+}
+
+// ViewRange returns a tensor viewing elements [start, start+n) of t's
+// backing slice under the given shape (whose element count must be n).
+// Like Step, the view shares storage and inherits t's arena tag; it is the
+// shaped counterpart of RawRange for callers that need a Tensor header.
+func (t *Tensor) ViewRange(start, n int, shape ...int) *Tensor {
+	if numel(shape) != n {
+		failf("ViewRange shape %v does not hold %d elements", shape, n)
+	}
+	view := t.RawRange(start, n)
+	if t.ar != nil {
+		return t.ar.header(shape, view)
+	}
+	return &Tensor{shape: cloneShape(shape), data: view}
 }
 
 // RawRange returns the bounds-checked window [start, start+n) of the
