@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// Regression-sentinel defaults: the baseline is the median of up to
+// checkWindow prior same-source records, a metric needs checkMinHistory
+// prior observations before it can gate, and a drop beyond checkTol of
+// the baseline fails the check. The tolerance absorbs machine noise —
+// only the dimensionless *_x ratio metrics are gated, so the comparison
+// is speedup-vs-speedup, not wall-clock-vs-wall-clock.
+const (
+	checkWindow     = 8
+	checkMinHistory = 3
+	checkTol        = 0.15
+)
+
+// checkFinding is one gated metric's verdict.
+type checkFinding struct {
+	Source   string
+	Metric   string
+	Current  float64
+	Baseline float64
+	History  int
+	// Regressed marks current < baseline*(1-tol).
+	Regressed bool
+}
+
+// checkSkip is one metric that could not be gated yet.
+type checkSkip struct {
+	Source  string
+	Metric  string
+	History int
+}
+
+// checkReport is the sentinel's full verdict over a trajectory history.
+type checkReport struct {
+	Findings []checkFinding
+	Skipped  []checkSkip
+}
+
+// regressions returns the findings that failed the gate.
+func (r checkReport) regressions() []checkFinding {
+	var out []checkFinding
+	for _, f := range r.Findings {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runCheck is the benchreport -check entry point: it reads the
+// cumulative trajectory file, gates every ratio metric of every
+// source's latest record against its own history, prints the verdict
+// table, and returns an error (nonzero exit) on any regression. A
+// missing trajectory or a too-short history passes with a note — fresh
+// clones and CI runs have no accumulated history to compare against.
+func runCheck(w io.Writer, path string, window, minHistory int, tol float64) error {
+	records, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if records == nil {
+		fmt.Fprintf(w, "perf check: no trajectory at %s (no history to compare; pass)\n", path)
+		return nil
+	}
+	rep := checkTrajectory(records, window, minHistory, tol)
+	writeCheckReport(w, rep, tol)
+	if reg := rep.regressions(); len(reg) > 0 {
+		return fmt.Errorf("perf check: %d metric(s) regressed beyond %.0f%% of baseline", len(reg), 100*tol)
+	}
+	return nil
+}
+
+// readTrajectory loads the trajectory array; a missing file reads as a
+// nil history, any other failure (including corrupt JSON) is an error —
+// a sentinel that cannot read its history must not claim a pass over it.
+func readTrajectory(path string) ([]obs.TrajectoryRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var records []obs.TrajectoryRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("trajectory %s is corrupt: %w", path, err)
+	}
+	return records, nil
+}
+
+// checkTrajectory gates every source's latest record against the median
+// of its prior same-source records. Only dimensionless ratio metrics
+// (names ending in "_x") participate: raw durations and counter totals
+// vary with the machine, ratios only with the code.
+func checkTrajectory(records []obs.TrajectoryRecord, window, minHistory int, tol float64) checkReport {
+	bySource := make(map[string][]obs.TrajectoryRecord)
+	var order []string
+	for _, r := range records {
+		if _, seen := bySource[r.Source]; !seen {
+			order = append(order, r.Source)
+		}
+		bySource[r.Source] = append(bySource[r.Source], r)
+	}
+	var rep checkReport
+	for _, src := range order {
+		recs := bySource[src]
+		latest := recs[len(recs)-1]
+		prior := recs[:len(recs)-1]
+		metrics := make([]string, 0, len(latest.Metrics))
+		for name := range latest.Metrics {
+			if strings.HasSuffix(name, "_x") {
+				metrics = append(metrics, name)
+			}
+		}
+		sort.Strings(metrics)
+		for _, name := range metrics {
+			var history []float64
+			for _, r := range prior {
+				if v, ok := r.Metrics[name]; ok {
+					history = append(history, v)
+				}
+			}
+			if len(history) > window {
+				history = history[len(history)-window:]
+			}
+			if len(history) < minHistory {
+				rep.Skipped = append(rep.Skipped, checkSkip{Source: src, Metric: name, History: len(history)})
+				continue
+			}
+			base := median(history)
+			cur := latest.Metrics[name]
+			rep.Findings = append(rep.Findings, checkFinding{
+				Source:    src,
+				Metric:    name,
+				Current:   cur,
+				Baseline:  base,
+				History:   len(history),
+				Regressed: cur < base*(1-tol),
+			})
+		}
+	}
+	return rep
+}
+
+// median returns the median of vs (mean of the middle pair for even
+// counts). vs must be non-empty; it is not mutated.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// writeCheckReport renders the verdict table.
+func writeCheckReport(w io.Writer, rep checkReport, tol float64) {
+	fmt.Fprintf(w, "perf check (ratio metrics vs median of prior records, tolerance %.0f%%)\n", 100*tol)
+	if len(rep.Findings) == 0 && len(rep.Skipped) == 0 {
+		fmt.Fprintln(w, "  no ratio metrics in trajectory; nothing to gate")
+		return
+	}
+	for _, f := range rep.Findings {
+		verdict := "ok"
+		if f.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-16s %-32s current %7.3f  baseline %7.3f (n=%d)  %s\n",
+			f.Source, f.Metric, f.Current, f.Baseline, f.History, verdict)
+	}
+	for _, s := range rep.Skipped {
+		fmt.Fprintf(w, "  %-16s %-32s insufficient history (%d prior record(s)); skipped\n",
+			s.Source, s.Metric, s.History)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile writes content to path for fixture setup.
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// checkArgs runs the -check entry point through the real CLI against a
+// trajectory fixture, returning stdout and the run error.
+func checkArgs(t *testing.T, fixture string, extra ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-check", "-trajectory", fixture}, extra...)
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+// TestCheckPass pins the healthy case: a stable ratio history gates and
+// passes, and the raw (non-ratio) metrics are never gated.
+func TestCheckPass(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join("testdata", "trajectory_pass.json"))
+	if err != nil {
+		t.Fatalf("stable history must pass, got: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "nmnist_speedup_x") || !strings.Contains(out, "ok") {
+		t.Errorf("verdict table missing gated metric:\n%s", out)
+	}
+	if strings.Contains(out, "forward_ns_per_step") {
+		t.Errorf("machine-dependent raw metric must not be gated:\n%s", out)
+	}
+}
+
+// TestCheckRegression pins the acceptance criterion: an injected ≥20%
+// speedup drop against fixture history exits nonzero.
+func TestCheckRegression(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join("testdata", "trajectory_regress.json"))
+	if err == nil {
+		t.Fatalf("25%% speedup drop must fail the check:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error should name the regression, got: %v", err)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("verdict table should flag the regression:\n%s", out)
+	}
+}
+
+// TestCheckRegressionWithinTolerance widens the tolerance past the
+// injected drop and expects a pass — the gate is noise-aware, not a
+// strict equality check.
+func TestCheckRegressionWithinTolerance(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join("testdata", "trajectory_regress.json"), "-check-tol", "0.5")
+	if err != nil {
+		t.Fatalf("drop within tolerance must pass, got: %v\n%s", err, out)
+	}
+}
+
+// TestCheckInsufficientHistory: one prior record cannot establish a
+// baseline; the metric is skipped with a note and the check passes.
+func TestCheckInsufficientHistory(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join("testdata", "trajectory_insufficient.json"))
+	if err != nil {
+		t.Fatalf("short history must pass, got: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "insufficient history") {
+		t.Errorf("skip note missing:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("nothing may gate on one prior record:\n%s", out)
+	}
+}
+
+// TestCheckMixedSources: sources gate independently — a regressing
+// bench:lint ratio fails the check even though bench:forward is
+// healthy, and counter-only sources contribute nothing.
+func TestCheckMixedSources(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join("testdata", "trajectory_mixed.json"))
+	if err == nil {
+		t.Fatalf("regressing source must fail the mixed check:\n%s", out)
+	}
+	if !strings.Contains(out, "parallel_x") || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("bench:lint parallel_x regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "shd_speedup_x") {
+		t.Errorf("healthy bench:forward metric should still be reported:\n%s", out)
+	}
+	if strings.Contains(out, "fault_simulated_total") {
+		t.Errorf("counter-only benchreport source must not be gated:\n%s", out)
+	}
+	// The healthy source's row must read ok, not REGRESSED.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "shd_speedup_x") && strings.Contains(line, "REGRESSED") {
+			t.Errorf("healthy metric flagged as regressed: %s", line)
+		}
+	}
+}
+
+// TestCheckMissingTrajectory: fresh clones and CI have no accumulated
+// history; the sentinel passes with a note instead of failing the gate.
+func TestCheckMissingTrajectory(t *testing.T) {
+	out, err := checkArgs(t, filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing trajectory must pass, got: %v", err)
+	}
+	if !strings.Contains(out, "no trajectory") {
+		t.Errorf("missing-history note absent:\n%s", out)
+	}
+}
+
+// TestCheckCorruptTrajectory: an unreadable history is an error — the
+// sentinel must not report a pass over data it could not read.
+func TestCheckCorruptTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+	if err := writeFile(t, path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkArgs(t, path); err == nil {
+		t.Fatal("corrupt trajectory must fail the check")
+	}
+}

@@ -9,6 +9,13 @@
 //	            [-obs] [-manifest BENCH_manifest.json]
 //	            [-trajectory BENCH_trajectory.json] [-trace out.jsonl]
 //	            [-serve :9090] [-cpuprofile f] [-memprofile f]
+//	            [-check] [-check-window N] [-check-min N] [-check-tol F]
+//
+// -check runs the perf-regression sentinel instead of the report: the
+// latest trajectory record of every source has its ratio (*_x) metrics
+// compared against the median of its prior same-source records, and any
+// drop beyond the tolerance exits nonzero. verify.sh and CI invoke it
+// so benchmark ratios cannot silently decay across revisions.
 //
 // With no artifact flags, -all is implied. Tables I–III run on every
 // selected benchmark; Table IV and the figures follow the paper's choices
@@ -67,9 +74,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		obsMode    = fs.Bool("obs", false, "collect run counters and write a run manifest")
 		manifest   = fs.String("manifest", "BENCH_manifest.json", "manifest path for -obs")
 		trajectory = fs.String("trajectory", "BENCH_trajectory.json", "cumulative per-run trajectory path for -obs")
+		check      = fs.Bool("check", false, "perf-regression sentinel: gate the trajectory's latest ratio metrics against their history and exit nonzero on regression")
+		checkWin   = fs.Int("check-window", checkWindow, "sentinel baseline window (median of up to N prior same-source records)")
+		checkMin   = fs.Int("check-min", checkMinHistory, "sentinel minimum prior records before a metric gates")
+		checkTolF  = fs.Float64("check-tol", checkTol, "sentinel regression tolerance as a fraction of baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check {
+		// The sentinel is a pure file check: no pipelines, no obs setup.
+		return runCheck(stdout, *trajectory, *checkWin, *checkMin, *checkTolF)
 	}
 	ocli.ForceEnable = ocli.ForceEnable || *obsMode
 	log, stop, err := ocli.Start(stderr)

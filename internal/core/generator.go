@@ -112,11 +112,20 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	offsets := net.LayerOffsets()
 	totalNeurons := net.NumNeurons()
+	run := ""
+	if obs.RunEventsOn() {
+		run = obs.NewRunID("generate")
+		obs.EmitRunStart(run, "generate", totalNeurons, map[string]any{
+			"network": net.Name,
+			"layers":  len(net.Layers),
+			"seed":    cfg.Seed,
+		})
+	}
 	if obs.On() {
 		obsGenIteration.Set(0)
 		obsGenActivated.Set(0)
 		obsGenTotal.Set(int64(totalNeurons))
-		obs.Progress("generate", 0, totalNeurons)
+		obs.ProgressRun(run, "generate", 0, totalNeurons)
 	}
 
 	tInMin := cfg.TInMin
@@ -230,7 +239,7 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 			obsRestartsRun.Add(int64(winner.run))
 			obsGenIteration.Set(int64(iter + 1))
 			obsGenActivated.Set(int64(len(activated)))
-			obs.Progress("generate", len(activated), totalNeurons)
+			obs.ProgressRun(run, "generate", len(activated), totalNeurons)
 			isp.SetAttr("chunk_steps", best.stim.Dim(0))
 			isp.SetAttr("new_activated", newCount)
 			isp.SetAttr("restart_won", winner.idx)
@@ -251,6 +260,12 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 	res.Stimulus = Assemble(net, res.Chunks)
 	res.ActivatedFraction = float64(len(activated)) / float64(totalNeurons)
 	res.Runtime = time.Since(start)
+	if run != "" {
+		obs.EmitRunEnd(run, "generate", len(activated), totalNeurons, map[string]any{
+			"chunks":     len(res.Chunks),
+			"iterations": len(res.Trace),
+		})
+	}
 	return res, nil
 }
 

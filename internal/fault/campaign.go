@@ -154,10 +154,11 @@ type callbackSink struct{ fn func(done int) }
 
 func (s callbackSink) report(done, _ int) { s.fn(done) }
 
-// obsSink forwards updates to the obs layer as progress events.
-type obsSink struct{ name string }
+// obsSink forwards updates to the obs layer as progress events,
+// run-correlated when the campaign minted a flight-recorder run id.
+type obsSink struct{ name, run string }
 
-func (s obsSink) report(done, total int) { obs.Progress(s.name, done, total) }
+func (s obsSink) report(done, total int) { obs.ProgressRun(s.run, s.name, done, total) }
 
 // progressReporter fans completion counts out to its sinks every stride
 // completions. tick runs on worker goroutines outside every campaign
@@ -172,13 +173,13 @@ type progressReporter struct {
 	sinks    []progressSink
 }
 
-func newProgressReporter(total, stride int, opts CampaignOptions, name string) *progressReporter {
+func newProgressReporter(total, stride int, opts CampaignOptions, name, run string) *progressReporter {
 	r := &progressReporter{total: total, stride: int64(stride)}
 	if opts.Progress != nil {
 		r.sinks = append(r.sinks, callbackSink{opts.Progress})
 	}
 	if obs.On() {
-		r.sinks = append(r.sinks, obsSink{name})
+		r.sinks = append(r.sinks, obsSink{name: name, run: run})
 	}
 	return r
 }
@@ -264,7 +265,15 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		Detected:       make([]bool, len(faults)),
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
-	rep := newProgressReporter(len(faults), 256, opts, "campaign/simulate")
+	run := ""
+	if obs.RunEventsOn() {
+		run = obs.NewRunID("campaign/simulate")
+		obs.EmitRunStart(run, "campaign/simulate", len(faults), map[string]any{
+			"steps":  steps,
+			"layers": len(golden.Layers),
+		})
+	}
+	rep := newProgressReporter(len(faults), 256, opts, "campaign/simulate", run)
 	if obs.On() {
 		obsCampaignDone.Set(0)
 		obsCampaignTotal.Set(int64(len(faults)))
@@ -281,11 +290,21 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		revert := inj.Apply(f)
 		var detected bool
 		var ls int
+		divStep, simSteps := -1, steps
 		if opts.FullResim {
 			rec, n := inj.Scratch().RunFrom(0, nil, stimulus)
 			detected, ls = tensor.L1Diff(goldenOut, rec.Output()) > 0, n
+			if detected && run != "" {
+				divStep = firstDivergence(rec.Output(), goldenOut, steps)
+			}
 		} else {
 			detected, ls = inj.Scratch().DivergesFrom(f.StartLayer(), goldenRec, stimulus)
+			simSteps = inj.Scratch().LastSimSteps()
+			if detected {
+				// Early exit happens on the divergent step, so the last
+				// simulated step is the first divergence.
+				divStep = simSteps - 1
+			}
 		}
 		revert()
 		res.Detected[i] = detected
@@ -296,11 +315,28 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 			}
 			obsFaultSimHist.Observe(time.Since(t0))
 		}
+		if run != "" {
+			obs.EmitFault(run, "campaign/simulate", obs.FaultOutcome{
+				Index:      i,
+				Kind:       f.Kind.String(),
+				Layer:      f.Layer,
+				Detected:   detected,
+				DivStep:    divStep,
+				SimSteps:   simSteps,
+				LayerSteps: ls,
+			})
+		}
 		rep.tick()
 	})
 	rep.finish()
 	res.LayerSteps = layerSteps.Load()
 	res.Elapsed = time.Since(start)
+	if run != "" {
+		obs.EmitRunEnd(run, "campaign/simulate", len(faults), len(faults), map[string]any{
+			"detected":    res.NumDetected(),
+			"layer_steps": res.LayerSteps,
+		})
+	}
 	if obs.On() {
 		obsFaultsSimulated.Add(int64(len(faults)))
 		obsFaultsDetected.Add(int64(res.NumDetected()))
@@ -310,6 +346,19 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 		sp.SetAttr("layer_steps", res.LayerSteps)
 	}
 	return res, nil
+}
+
+// firstDivergence returns the first timestep whose out row differs from
+// the golden output, or -1 when the trains are identical. The FullResim
+// reference path re-derives here what DivergesFrom's early exit yields
+// for free on the incremental path.
+func firstDivergence(out, golden *tensor.Tensor, steps int) int {
+	for t := 0; t < steps; t++ {
+		if !tensor.RowEqual(out, golden, t) {
+			return t
+		}
+	}
+	return -1
 }
 
 // Classify labels each fault critical (true) or benign (false): a fault
@@ -356,7 +405,15 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 		Critical:       make([]bool, len(faults)),
 		FullLayerSteps: int64(len(faults)) * fullPerFault,
 	}
-	rep := newProgressReporter(len(faults), 64, opts, "campaign/classify")
+	run := ""
+	if obs.RunEventsOn() {
+		run = obs.NewRunID("campaign/classify")
+		obs.EmitRunStart(run, "campaign/classify", len(faults), map[string]any{
+			"samples": len(samples),
+			"layers":  len(golden.Layers),
+		})
+	}
+	rep := newProgressReporter(len(faults), 64, opts, "campaign/classify", run)
 	if obs.On() {
 		obsCampaignDone.Set(0)
 		obsCampaignTotal.Set(int64(len(faults)))
@@ -398,11 +455,36 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 			}
 			obsFaultSimHist.Observe(time.Since(t0))
 		}
+		if run != "" {
+			// Criticality has no single first-divergence timestep (it spans
+			// samples); DivStep stays -1 and the curve folds these
+			// detections into its final point.
+			obs.EmitFault(run, "campaign/classify", obs.FaultOutcome{
+				Index:      i,
+				Kind:       f.Kind.String(),
+				Layer:      f.Layer,
+				Detected:   res.Critical[i],
+				DivStep:    -1,
+				LayerSteps: ls,
+			})
+		}
 		rep.tick()
 	})
 	rep.finish()
 	res.LayerSteps = layerSteps.Load()
 	res.Elapsed = time.Since(start)
+	if run != "" {
+		critical := 0
+		for _, c := range res.Critical {
+			if c {
+				critical++
+			}
+		}
+		obs.EmitRunEnd(run, "campaign/classify", len(faults), len(faults), map[string]any{
+			"critical":    critical,
+			"layer_steps": res.LayerSteps,
+		})
+	}
 	if obs.On() {
 		critical := 0
 		for _, c := range res.Critical {

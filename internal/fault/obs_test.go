@@ -159,6 +159,92 @@ func TestObsCampaignCountersReconcile(t *testing.T) {
 	}
 }
 
+// TestObsFusedForwardCountersReconcile pins the fused engine (the
+// default campaign path — reference engine off) to the obs layer: the
+// forward-pass and layer-step counters must reconcile exactly with the
+// SimResult a campaign returns. PR 4 established this contract on the
+// reference path; PR 8's fused kernels route observe() through a
+// different step function and must uphold it byte-for-byte.
+func TestObsFusedForwardCountersReconcile(t *testing.T) {
+	withObsRecorder(t)
+	net := tinyNet(101)
+	faults := Enumerate(net, DefaultOptions())
+	stim := denseStim(102, net, 9)
+	goldenSteps := int64(len(net.Layers)) * int64(stim.Dim(0))
+
+	sim, err := SimulateWith(net, faults, stim, CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Snapshot()
+	// One golden pass plus exactly one (early-exiting) pass per fault.
+	if want := int64(1 + len(faults)); snap["snn_forward_passes_total"] != want {
+		t.Errorf("snn_forward_passes_total = %d, want golden+faults = %d",
+			snap["snn_forward_passes_total"], want)
+	}
+	if want := goldenSteps + sim.LayerSteps; snap["snn_layer_steps_total"] != want {
+		t.Errorf("snn_layer_steps_total = %d, want golden %d + campaign %d",
+			snap["snn_layer_steps_total"], goldenSteps, sim.LayerSteps)
+	}
+	if snap["snn_spikes_total"] == 0 {
+		t.Error("fused path observed zero spikes")
+	}
+
+	// Full re-simulation on the fused path reconciles the same way, and
+	// its layer-steps match the campaign's own full-work accounting.
+	obs.ResetCounters()
+	full, err := SimulateWith(net, faults, stim, CampaignOptions{Workers: 2, FullResim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = obs.Snapshot()
+	if want := int64(1 + len(faults)); snap["snn_forward_passes_total"] != want {
+		t.Errorf("full-resim snn_forward_passes_total = %d, want %d",
+			snap["snn_forward_passes_total"], want)
+	}
+	if want := goldenSteps + full.LayerSteps; snap["snn_layer_steps_total"] != want {
+		t.Errorf("full-resim snn_layer_steps_total = %d, want %d",
+			snap["snn_layer_steps_total"], want)
+	}
+	if full.LayerSteps != full.FullLayerSteps {
+		t.Errorf("full resim did %d layer-steps, accounting says %d",
+			full.LayerSteps, full.FullLayerSteps)
+	}
+}
+
+// TestObsFusedSpikesMatchReference: for the same forward pass, the fused
+// kernels must report the exact spike and layer-step counts the
+// reference engine reports — the counter half of the engine-equivalence
+// gate.
+func TestObsFusedSpikesMatchReference(t *testing.T) {
+	withObsRecorder(t)
+	net := tinyNet(103)
+	stim := denseStim(104, net, 9)
+
+	fused := net.NewScratch()
+	if _, n := fused.RunFrom(0, nil, stim); n == 0 {
+		t.Fatal("fused pass ran zero layer-steps")
+	}
+	fusedSnap := obs.Snapshot()
+
+	obs.ResetCounters()
+	ref := net.NewScratch()
+	ref.SetReference(true)
+	if _, n := ref.RunFrom(0, nil, stim); n == 0 {
+		t.Fatal("reference pass ran zero layer-steps")
+	}
+	refSnap := obs.Snapshot()
+
+	for _, name := range []string{"snn_spikes_total", "snn_layer_steps_total", "snn_forward_passes_total"} {
+		if fusedSnap[name] != refSnap[name] {
+			t.Errorf("%s: fused %d != reference %d", name, fusedSnap[name], refSnap[name])
+		}
+	}
+	if fusedSnap["snn_spikes_total"] == 0 {
+		t.Error("both engines observed zero spikes; stimulus too weak to gate anything")
+	}
+}
+
 // TestObsCampaignSpanParenting checks CampaignOptions.Context: a span
 // open in the caller's context becomes the campaign span's parent.
 func TestObsCampaignSpanParenting(t *testing.T) {

@@ -14,6 +14,13 @@ var (
 	okGauge        = obs.NewGauge("fixture_queue_depth")
 	okHistogram    = obs.NewTimingHistogram("fixture_step_seconds")
 
+	// The PR 9 flight-recorder names are part of the conforming corpus:
+	// any rename that breaks the convention fails here first.
+	okLedgerRuns    = obs.NewCounter("ledger_runs_total")
+	okLedgerEntries = obs.NewCounter("ledger_entries_total")
+	okLedgerErrors  = obs.NewCounter("ledger_write_errors_total")
+	okRunsTracked   = obs.NewGauge("telemetry_runs_tracked")
+
 	badShapeCamel  = obs.NewCounter("fixtureEventsTotal")      // want "not subsystem_noun_unit"
 	badShapeDotted = obs.NewCounter("fixture.events_total")    // want "not subsystem_noun_unit"
 	badShapeSingle = obs.NewCounter("fixture")                 // want "not subsystem_noun_unit"

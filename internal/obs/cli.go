@@ -20,18 +20,20 @@ import (
 //	-quiet        suppress status logging
 //	-trace FILE   JSONL span/counter trace
 //	-serve ADDR   live telemetry HTTP server (/metrics, /runs, pprof)
+//	-ledger DIR   per-run flight-recorder journals (JSONL per run)
 //	-cpuprofile FILE, -memprofile FILE
 //
 // Register the flags on the binary's FlagSet, then call Start after
 // parsing; the returned stop function shuts the telemetry server down,
-// flushes profiles, emits the final counter snapshot, prints the
-// end-of-run span tree and resets the global obs state so repeated
-// in-process runs (tests) stay hermetic.
+// closes the ledger, flushes profiles, emits the final counter
+// snapshot, prints the end-of-run span tree and resets the global obs
+// state so repeated in-process runs (tests) stay hermetic.
 type CLI struct {
 	Verbose    bool
 	Quiet      bool
 	Trace      string
 	Serve      string
+	Ledger     string
 	CPUProfile string
 	MemProfile string
 	// ForceEnable turns the observability layer on even without -trace
@@ -49,8 +51,17 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Quiet, "quiet", false, "suppress status logging")
 	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span/counter trace to this file")
 	fs.StringVar(&c.Serve, "serve", "", "serve live telemetry (/metrics, /healthz, /readyz, /runs, /debug/pprof) on this host:port for the run's duration")
+	fs.StringVar(&c.Ledger, "ledger", "", "append per-run flight-recorder journals (JSONL) under this directory")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// ServeOptions configures the telemetry server started by -serve:
+// the listen address and, when -ledger is also set, the journal
+// directory the server rehydrates persisted run history from.
+type ServeOptions struct {
+	Addr      string
+	LedgerDir string
 }
 
 // ServeHandle is a running telemetry server as seen by the CLI bundle:
@@ -66,11 +77,28 @@ type ServeHandle struct {
 // registered by the internal/obs/telemetry package's init (obs cannot
 // import it — the server depends on this package), so binaries opt into
 // -serve simply by importing internal/obs/telemetry.
-var serveHook func(addr string) (ServeHandle, error)
+var serveHook func(opts ServeOptions) (ServeHandle, error)
 
 // RegisterServeHook installs the -serve implementation. Called once,
 // from init; later registrations overwrite earlier ones.
-func RegisterServeHook(h func(addr string) (ServeHandle, error)) { serveHook = h }
+func RegisterServeHook(h func(opts ServeOptions) (ServeHandle, error)) { serveHook = h }
+
+// LedgerHandle is a running flight-recorder journal writer as seen by
+// the CLI bundle: the sink to register on the event stream and the
+// close entry point flushing per-run journal files.
+type LedgerHandle struct {
+	Sink  Sink
+	Close func() error
+}
+
+// ledgerHook opens a ledger rooted at the given directory. Registered
+// by the internal/obs/ledger package's init (via the telemetry blank
+// import every binary already carries), mirroring serveHook.
+var ledgerHook func(dir string) (LedgerHandle, error)
+
+// RegisterLedgerHook installs the -ledger implementation. Called once,
+// from init; later registrations overwrite earlier ones.
+func RegisterLedgerHook(h func(dir string) (LedgerHandle, error)) { ledgerHook = h }
 
 // Level resolves the flag pair into a log level.
 func (c *CLI) Level() LogLevel {
@@ -127,7 +155,7 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 		}
 		traceFile, jsonl, rec = f, NewJSONLSink(f), &Recorder{}
 	}
-	if c.Trace != "" || c.Serve != "" || c.ForceEnable {
+	if c.Trace != "" || c.Serve != "" || c.Ledger != "" || c.ForceEnable {
 		if jsonl != nil {
 			SetSinks(jsonl, rec)
 		} else {
@@ -170,11 +198,32 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 			return nil
 		})
 	}
+	if c.Serve != "" || c.Ledger != "" {
+		// Per-run flight-recorder events only flow when something consumes
+		// them, keeping plain -trace runs byte-compatible with history.
+		SetRunEvents(true)
+		cleanups = append(cleanups, func() error {
+			SetRunEvents(false)
+			return nil
+		})
+	}
+	if c.Ledger != "" {
+		if ledgerHook == nil {
+			return fail(fmt.Errorf("obs: -ledger needs the flight recorder linked in; import internal/obs/ledger (or internal/obs/telemetry)"))
+		}
+		h, err := ledgerHook(c.Ledger)
+		if err != nil {
+			return fail(err)
+		}
+		AddSink(h.Sink)
+		cleanups = append(cleanups, h.Close)
+		log.Infof("flight-recorder ledger appending under %s", c.Ledger)
+	}
 	if c.Serve != "" {
 		if serveHook == nil {
 			return fail(fmt.Errorf("obs: -serve needs the telemetry server linked in; import internal/obs/telemetry"))
 		}
-		h, err := serveHook(c.Serve)
+		h, err := serveHook(ServeOptions{Addr: c.Serve, LedgerDir: c.Ledger})
 		if err != nil {
 			return fail(err)
 		}

@@ -18,6 +18,9 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +40,46 @@ func Disable() { enabled.Store(false) }
 
 // On reports whether the layer is enabled — the hot-path guard.
 func On() bool { return enabled.Load() }
+
+// runEvents is the flight-recorder switch layered on top of the main
+// enable gate: per-run lifecycle events (run_start / fault / run_end)
+// and run-correlated progress are only emitted when both are on, so a
+// plain -trace run keeps its historical JSONL content and the fault
+// campaigns pay per-fault event costs only when a ledger or the
+// telemetry server actually consumes them.
+var runEvents atomic.Bool
+
+// SetRunEvents toggles per-run flight-recorder events (the -ledger and
+// -serve paths turn them on; CLI teardown restores the dark default).
+func SetRunEvents(on bool) { runEvents.Store(on) }
+
+// RunEventsOn reports whether per-run flight-recorder events should be
+// emitted: the layer is enabled and a run-event consumer is registered.
+func RunEventsOn() bool { return enabled.Load() && runEvents.Load() }
+
+// runSeq allocates process-unique run sequence numbers.
+var runSeq atomic.Uint64
+
+// NewRunID mints a unique, filesystem-safe run identifier for the named
+// activity (e.g. "campaign/simulate"): the slugged phase, a UTC
+// timestamp, the process id and a process-local sequence number. The
+// timestamp+pid pair keeps ids from different process lifetimes (and
+// thus ledger journal files) from colliding, and makes rehydrated run
+// histories sort naturally by start time.
+func NewRunID(phase string) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, phase)
+	return fmt.Sprintf("%s-%s-%d-%d",
+		slug, time.Now().UTC().Format("20060102t150405"), os.Getpid(), runSeq.Add(1))
+}
 
 // spanIDs allocates process-unique span identifiers.
 var spanIDs atomic.Uint64
@@ -130,7 +173,41 @@ const (
 	KindProgress EventKind = "progress"
 	// KindCounters is a snapshot of every registered counter.
 	KindCounters EventKind = "counters"
+	// KindRunStart opens one flight-recorder run (a fault campaign or a
+	// generation loop); Run carries the run id, Name the phase, Total the
+	// run's work-unit count and Attrs the run metadata (stimulus steps,
+	// layer count, …).
+	KindRunStart EventKind = "run_start"
+	// KindFault is one fault's campaign outcome (detection flag,
+	// first-divergence timestep, simulated layer-steps); the Fault field
+	// carries the payload.
+	KindFault EventKind = "fault"
+	// KindRunEnd closes a flight-recorder run with its final tallies.
+	KindRunEnd EventKind = "run_end"
 )
+
+// FaultOutcome is the per-fault payload of a KindFault event: everything
+// the coverage-over-time curve and the detection-latency histograms
+// need, at per-fault (never per-timestep) granularity.
+type FaultOutcome struct {
+	// Index is the fault's position in the campaign's fault list.
+	Index int `json:"index"`
+	// Kind is the fault kind string (e.g. "neuron-dead").
+	Kind string `json:"kind"`
+	// Layer is the fault site — the first layer the fault can perturb.
+	Layer int `json:"layer"`
+	// Detected reports the campaign's detection (or criticality) flag.
+	Detected bool `json:"detected,omitempty"`
+	// DivStep is the first stimulus timestep whose output diverged from
+	// the golden response, or -1 when undetected or unknown (criticality
+	// campaigns do not track divergence steps).
+	DivStep int `json:"div_step"`
+	// SimSteps is the number of stimulus timesteps simulated for this
+	// fault (the early-exit point of the incremental campaign).
+	SimSteps int `json:"sim_steps,omitempty"`
+	// LayerSteps is the number of (layer, timestep) units simulated.
+	LayerSteps int `json:"layer_steps,omitempty"`
+}
 
 // Event is the unit every sink consumes. Exactly which fields are set
 // depends on Kind; the zero values are omitted from JSONL output.
@@ -139,6 +216,9 @@ type Event struct {
 	Name   string    `json:"name,omitempty"`
 	ID     uint64    `json:"id,omitempty"`
 	Parent uint64    `json:"parent,omitempty"`
+	// Run correlates flight-recorder events (run_start/fault/run_end and
+	// run-scoped progress) with one run; empty outside run recording.
+	Run string `json:"run,omitempty"`
 	// Start is the event's wall-clock timestamp (a span's start time).
 	Start time.Time `json:"start"`
 	// DurUS is the span duration in microseconds (monotonic clock).
@@ -146,10 +226,12 @@ type Event struct {
 	// Done/Total carry progress updates.
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
-	// Attrs are span attributes.
+	// Attrs are span attributes (and run_start/run_end metadata).
 	Attrs map[string]any `json:"attrs,omitempty"`
 	// Counters is the snapshot payload of a KindCounters event.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Fault is the payload of a KindFault event.
+	Fault *FaultOutcome `json:"fault,omitempty"`
 }
 
 // Sink consumes observability events. Emit may be called from multiple
@@ -195,7 +277,42 @@ func Emit(e Event) {
 // ad-hoc campaign progress callbacks, which are now just one more sink
 // for these updates (see fault.CampaignOptions.Progress).
 func Progress(name string, done, total int) {
-	Emit(Event{Kind: KindProgress, Name: name, Done: done, Total: total, Start: time.Now()})
+	ProgressRun("", name, done, total)
+}
+
+// ProgressRun emits a KindProgress event correlated with a flight-
+// recorder run (run may be empty for uncorrelated progress).
+func ProgressRun(run, name string, done, total int) {
+	Emit(Event{Kind: KindProgress, Name: name, Run: run, Done: done, Total: total, Start: time.Now()})
+}
+
+// EmitRunStart opens a flight-recorder run. No-op unless run events are
+// on (RunEventsOn), so instrumented call sites stay dark by default.
+func EmitRunStart(run, name string, total int, attrs map[string]any) {
+	if !RunEventsOn() {
+		return
+	}
+	Emit(Event{Kind: KindRunStart, Name: name, Run: run, Total: total, Attrs: attrs, Start: time.Now()})
+}
+
+// EmitFault records one fault's campaign outcome against a run. No-op
+// unless run events are on. Called at per-fault granularity only —
+// never from //snn:hotpath timestep loops.
+func EmitFault(run, name string, f FaultOutcome) {
+	if !RunEventsOn() {
+		return
+	}
+	out := f
+	Emit(Event{Kind: KindFault, Name: name, Run: run, Fault: &out, Start: time.Now()})
+}
+
+// EmitRunEnd closes a flight-recorder run with its final tallies. No-op
+// unless run events are on.
+func EmitRunEnd(run, name string, done, total int, attrs map[string]any) {
+	if !RunEventsOn() {
+		return
+	}
+	Emit(Event{Kind: KindRunEnd, Name: name, Run: run, Done: done, Total: total, Attrs: attrs, Start: time.Now()})
 }
 
 // EmitCounterSnapshot emits a KindCounters event holding the current

@@ -7,11 +7,21 @@ import (
 	"time"
 
 	"github.com/repro/snntest/internal/obs"
+	"github.com/repro/snntest/internal/obs/ledger"
 )
 
-// maxRuns bounds the retained run history; the oldest terminal runs are
-// evicted first so a long-lived server cannot grow without bound.
+// maxRuns bounds the retained run history; the oldest runs are evicted
+// first so a long-lived server cannot grow without bound. Eviction
+// drops a run's curve state and event ring along with it.
 const maxRuns = 64
+
+// maxRunEvents bounds the per-run journal tail kept for the
+// /runs/{id}/events endpoint; older entries age out of memory (the
+// on-disk ledger journal, when enabled, keeps the full history).
+const maxRunEvents = 256
+
+// obsRunsTracked mirrors the in-memory run-history size onto /metrics.
+var obsRunsTracked = obs.NewGauge("telemetry_runs_tracked")
 
 // RunProgress is the JSON shape of one tracked run as served by /runs
 // and /runs/{id}. A "run" is one progress-reporting activity instance —
@@ -38,12 +48,15 @@ type RunProgress struct {
 	CoveragePercent float64 `json:"coverage_percent,omitempty"`
 	// Terminal marks a run that reached done == total.
 	Terminal bool `json:"terminal"`
+	// Rehydrated marks a run restored from a ledger journal written by
+	// an earlier process rather than observed live.
+	Rehydrated bool `json:"rehydrated,omitempty"`
 }
 
 // Sink tracks live run progress from the obs event stream. It
 // implements obs.Sink; register it with obs.AddSink (the obs.CLI -serve
-// path does this) and every progress event becomes queryable run state.
-// Safe for concurrent Emit and snapshot use.
+// path does this) and every progress and run-lifecycle event becomes
+// queryable run state. Safe for concurrent Emit and snapshot use.
 type Sink struct {
 	mu   sync.Mutex
 	seq  int
@@ -67,6 +80,15 @@ type runState struct {
 	updated  time.Time
 	detected int64
 	terminal bool
+	// named marks a run keyed by an explicit flight-recorder run id
+	// (never matched by phase-name progress correlation).
+	named      bool
+	rehydrated bool
+	// curve folds this run's fault events into its coverage curve;
+	// events is the bounded journal tail. Both nil until the first
+	// run-lifecycle event arrives (plain progress-only runs stay lean).
+	curve  *ledger.CurveBuilder
+	events []ledger.Entry
 }
 
 // NewSink returns an empty run tracker.
@@ -77,20 +99,36 @@ func NewSink() *Sink {
 	}
 }
 
-// Emit consumes one obs event. Only progress events mutate run state;
-// span and counter events are ignored (the /metrics endpoint serves
-// counters directly from the registry).
+// Emit consumes one obs event. Progress and run-lifecycle events mutate
+// run state; span and counter events are ignored (the /metrics endpoint
+// serves counters directly from the registry).
 func (s *Sink) Emit(e obs.Event) {
-	if e.Kind != obs.KindProgress {
-		return
+	switch e.Kind {
+	case obs.KindProgress:
+		s.emitProgress(e)
+	case obs.KindRunStart, obs.KindFault, obs.KindRunEnd:
+		s.emitRunEvent(e)
 	}
+}
+
+// emitProgress folds a progress update into its run: by run id when the
+// event is run-correlated, else by phase-name heuristics (the pre-
+// flight-recorder behaviour, kept for uncorrelated emitters).
+func (s *Sink) emitProgress(e obs.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := s.activeLocked(e.Name, e.Done, e.Start)
+	var r *runState
+	if e.Run != "" {
+		r = s.byIDLocked(e.Run, e.Name, e.Start)
+	} else {
+		r = s.activeLocked(e.Name, e.Done, e.Start)
+	}
 	r.done = e.Done
 	r.total = e.Total
 	r.updated = e.Start
-	if strings.HasPrefix(e.Name, "campaign/") {
+	if r.curve != nil {
+		r.detected = int64(r.curve.Detected())
+	} else if strings.HasPrefix(e.Name, "campaign/") {
 		r.detected = s.detected.Value()
 		if strings.HasSuffix(e.Name, "/classify") {
 			r.detected = s.critical.Value()
@@ -101,12 +139,69 @@ func (s *Sink) Emit(e obs.Event) {
 	}
 }
 
+// emitRunEvent folds a run-lifecycle event (run_start / fault /
+// run_end) into its run's curve state and journal tail.
+func (s *Sink) emitRunEvent(e obs.Event) {
+	entry, ok := ledger.EntryFromEvent(e)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.byIDLocked(e.Run, e.Name, e.Start)
+	if r.curve == nil {
+		r.curve = ledger.NewCurveBuilder(r.id, r.phase)
+	}
+	r.curve.Apply(entry)
+	r.appendEventLocked(entry)
+	r.updated = e.Start
+	r.detected = int64(r.curve.Detected())
+	switch e.Kind {
+	case obs.KindRunStart:
+		r.total = e.Total
+	case obs.KindFault:
+		if d := r.curve.Done(); d > r.done {
+			r.done = d
+		}
+	case obs.KindRunEnd:
+		r.done, r.total, r.terminal = e.Done, e.Total, true
+	}
+}
+
+// appendEventLocked pushes one entry onto the run's bounded tail.
+func (r *runState) appendEventLocked(e ledger.Entry) {
+	if len(r.events) >= maxRunEvents {
+		copy(r.events, r.events[1:])
+		r.events[len(r.events)-1] = e
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// byIDLocked returns the run keyed by an explicit run id, creating it
+// when unseen (events may arrive in any order near eviction).
+func (s *Sink) byIDLocked(id, phase string, start time.Time) *runState {
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		if s.runs[i].id == id {
+			return s.runs[i]
+		}
+	}
+	r := &runState{id: id, phase: phase, started: start, named: true}
+	s.insertLocked(r)
+	return r
+}
+
 // activeLocked returns the current run for the named activity, starting
 // a new one when none exists, the previous one completed, or the done
-// count moved backwards (a fresh campaign reusing the name).
+// count moved backwards (a fresh campaign reusing the name). Runs keyed
+// by explicit run ids are never matched — their progress arrives
+// run-correlated.
 func (s *Sink) activeLocked(name string, done int, start time.Time) *runState {
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		r := s.runs[i]
+		if r.named {
+			continue
+		}
 		if r.phase == name && !r.terminal && r.done <= done {
 			return r
 		}
@@ -116,11 +211,73 @@ func (s *Sink) activeLocked(name string, done int, start time.Time) *runState {
 	}
 	s.seq++
 	r := &runState{id: fmt.Sprintf("run-%d", s.seq), phase: name, started: start}
+	s.insertLocked(r)
+	return r
+}
+
+// insertLocked appends a run and enforces the retention bound.
+func (s *Sink) insertLocked(r *runState) {
 	s.runs = append(s.runs, r)
 	if len(s.runs) > maxRuns {
 		s.runs = append(s.runs[:0:0], s.runs[len(s.runs)-maxRuns:]...)
 	}
-	return r
+	obsRunsTracked.Set(int64(len(s.runs)))
+}
+
+// Rehydrate restores run history from the ledger journals under dir,
+// replaying each journal through the same curve fold the live event
+// path uses. Runs already tracked (same id) are left untouched, so
+// rehydrating is idempotent and never clobbers a live run. The
+// retention bound applies as usual; with more journals than capacity
+// the lexicographically-latest (≈ newest) runs win.
+func (s *Sink) Rehydrate(dir string) error {
+	ids, err := ledger.List(dir)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		entries, err := ledger.ReadRun(dir, id)
+		if err != nil || len(entries) == 0 {
+			// A vanished or fully-torn journal is not worth failing the
+			// server over; skip it.
+			continue
+		}
+		s.rehydrateRun(id, entries)
+	}
+	return nil
+}
+
+// rehydrateRun folds one journal into a tracked run.
+func (s *Sink) rehydrateRun(id string, entries []ledger.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.id == id {
+			return
+		}
+	}
+	r := &runState{id: id, named: true, rehydrated: true}
+	b := ledger.NewCurveBuilder(id, "")
+	for _, e := range entries {
+		b.Apply(e)
+		r.appendEventLocked(e)
+		if r.phase == "" && e.Name != "" {
+			r.phase = e.Name
+		}
+		if r.started.IsZero() || e.Time.Before(r.started) {
+			r.started = e.Time
+		}
+		if e.Time.After(r.updated) {
+			r.updated = e.Time
+		}
+		if e.Kind == string(obs.KindRunEnd) {
+			r.terminal = true
+		}
+	}
+	c := b.Curve()
+	r.curve = b
+	r.done, r.total, r.detected = c.Done, c.Total, int64(c.Detected)
+	s.insertLocked(r)
 }
 
 // Runs returns a snapshot of every tracked run in start order.
@@ -146,19 +303,50 @@ func (s *Sink) Run(id string) (RunProgress, bool) {
 	return RunProgress{}, false
 }
 
+// Coverage returns the run's derived coverage curve. The second result
+// is false when the run is unknown; the third is false when the run is
+// tracked but recorded no lifecycle events (progress-only runs have no
+// curve).
+func (s *Sink) Coverage(id string) (ledger.Curve, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.id == id {
+			if r.curve == nil {
+				return ledger.Curve{}, true, false
+			}
+			return r.curve.Curve(), true, true
+		}
+	}
+	return ledger.Curve{}, false, false
+}
+
+// Events returns the run's retained journal tail (oldest first).
+func (s *Sink) Events(id string) ([]ledger.Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.id == id {
+			return append([]ledger.Entry(nil), r.events...), true
+		}
+	}
+	return nil, false
+}
+
 // progress derives the served view from the tracking record. Callers
 // hold the sink lock.
 func (r *runState) progress() RunProgress {
 	p := RunProgress{
-		ID:       r.id,
-		Phase:    r.phase,
-		Done:     r.done,
-		Total:    r.total,
-		Started:  r.started,
-		Updated:  r.updated,
-		Detected: r.detected,
-		Terminal: r.terminal,
-		ETAMS:    -1,
+		ID:         r.id,
+		Phase:      r.phase,
+		Done:       r.done,
+		Total:      r.total,
+		Started:    r.started,
+		Updated:    r.updated,
+		Detected:   r.detected,
+		Terminal:   r.terminal,
+		Rehydrated: r.rehydrated,
+		ETAMS:      -1,
 	}
 	if r.total > 0 {
 		p.Percent = 100 * float64(r.done) / float64(r.total)

@@ -10,6 +10,8 @@ import (
 	"net/http/pprof"
 	"sync/atomic"
 	"time"
+
+	"github.com/repro/snntest/internal/obs/ledger"
 )
 
 // Server is the embeddable telemetry HTTP server. Construct with New,
@@ -19,9 +21,11 @@ import (
 //	/metrics        Prometheus text exposition of every obs metric
 //	/healthz        liveness: 200 while the process is up
 //	/readyz         readiness: 200 after Start, 503 after Shutdown begins
-//	/runs           JSON list of tracked runs (live + recent history)
-//	/runs/{id}      one run, 404 when unknown
-//	/debug/pprof/*  net/http/pprof profiling handlers
+//	/runs                 JSON list of tracked runs (live + recent history)
+//	/runs/{id}            one run, 404 when unknown
+//	/runs/{id}/coverage   coverage-over-time curve + detection-latency histograms
+//	/runs/{id}/events     the run's flight-recorder event tail
+//	/debug/pprof/*        net/http/pprof profiling handlers
 type Server struct {
 	sink     *Sink
 	srv      *http.Server
@@ -52,6 +56,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /runs/{id}/coverage", s.handleRunCoverage)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -124,6 +130,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, run)
+}
+
+func (s *Server) handleRunCoverage(w http.ResponseWriter, r *http.Request) {
+	curve, known, hasCurve := s.sink.Coverage(r.PathValue("id"))
+	if !known {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	if !hasCurve {
+		http.Error(w, "run recorded no coverage events", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, curve)
+}
+
+// runEventsResponse is the /runs/{id}/events JSON envelope: the run's
+// retained journal tail, oldest first.
+type runEventsResponse struct {
+	Run    string         `json:"run"`
+	Events []ledger.Entry `json:"events"`
+}
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, ok := s.sink.Events(id)
+	if !ok {
+		http.Error(w, "unknown run", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, runEventsResponse{Run: id, Events: events})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -204,6 +204,10 @@ type Scratch struct {
 	// reference selects the allocating reference path (Projection.Forward
 	// + stepLayer) over the fused kernels; see SetReference.
 	reference bool
+	// lastSimSteps records how many stimulus timesteps the most recent
+	// runFrom simulated (the early-exit point of DivergesFrom); see
+	// LastSimSteps.
+	lastSimSteps int
 }
 
 // NewScratch allocates reusable simulation state for this network. The
@@ -375,12 +379,14 @@ func (s *Scratch) runFrom(start int, golden *Record, stimulus *tensor.Tensor, st
 		}
 		layerSteps += len(n.Layers) - start
 		if stopOnDiverge && !tensor.RowEqual(outRow, goldenRow, t) {
+			s.lastSimSteps = t + 1
 			if obs.On() {
 				s.observe(rec, start, t+1, layerSteps, time.Since(t0))
 			}
 			return rec, layerSteps, true
 		}
 	}
+	s.lastSimSteps = steps
 	if obs.On() {
 		s.observe(rec, start, steps, layerSteps, time.Since(t0))
 	}
@@ -577,6 +583,14 @@ func (s *Scratch) RunFrom(start int, golden *Record, stimulus *tensor.Tensor) (*
 	rec, layerSteps, _ := s.runFrom(start, golden, stimulus, false)
 	return rec, layerSteps
 }
+
+// LastSimSteps reports how many stimulus timesteps the scratch's most
+// recent RunFrom/DivergesFrom call simulated: the full duration for a
+// completed run, or the early-exit point — first divergence step + 1 —
+// when DivergesFrom stopped short. The flight recorder derives the
+// per-fault first-divergence timestep from it without the simulation
+// loop carrying any event plumbing.
+func (s *Scratch) LastSimSteps() int { return s.lastSimSteps }
 
 // DivergesFrom simulates layers ≥ start with golden-trace replay and
 // early exit: it returns true at the first time step whose output row

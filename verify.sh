@@ -44,13 +44,26 @@ go test -run 'TestRunTrace' ./examples/quickstart/
 # still flush a complete trace (graceful SIGINT shutdown).
 go test -race ./internal/obs/telemetry/
 go test -run 'TestSigintFlushesTrace' ./examples/quickstart/
-# Live-serve gate: start the quickstart with -serve on an ephemeral
-# port and scrape /metrics and /healthz while the run is in flight.
+# Perf-regression sentinel: gate the latest trajectory record's ratio
+# metrics against the median of prior same-source records. A missing
+# BENCH_trajectory.json (fresh clone, CI) passes with a note; an actual
+# ≥15% ratio regression exits nonzero and fails the gate. The -check
+# fixtures under cmd/benchreport/testdata pin both behaviours.
+go run ./cmd/benchreport -check
+# Live-serve + flight-recorder gate, two phases. Phase 1: a quickstart
+# run with -ledger journals its campaigns under .ledger-smoke. Phase 2:
+# a second process with -serve + the same -ledger rehydrates those
+# journals into /runs history (restart survival), and the gate scrapes
+# /metrics, /healthz, and a rehydrated run's coverage curve, checking
+# the curve is monotone nondecreasing and ends at detected/total.
 if command -v curl >/dev/null 2>&1; then
     go build -o /tmp/snntest-quickstart ./examples/quickstart
+    rm -rf .ledger-smoke
+    /tmp/snntest-quickstart -ledger .ledger-smoke >/dev/null 2>&1
+    ls .ledger-smoke/*.jsonl >/dev/null 2>&1 || { echo "verify.sh: -ledger run wrote no journals" >&2; exit 1; }
     # Not -quiet: the gate parses the "listening on" stderr line for the
     # resolved ephemeral port.
-    /tmp/snntest-quickstart -serve 127.0.0.1:0 >/dev/null 2>/tmp/snntest-serve.log &
+    /tmp/snntest-quickstart -serve 127.0.0.1:0 -ledger .ledger-smoke >/dev/null 2>/tmp/snntest-serve.log &
     QS_PID=$!
     ADDR=""
     for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
@@ -61,8 +74,26 @@ if command -v curl >/dev/null 2>&1; then
     [ -n "$ADDR" ] || { echo "verify.sh: telemetry server never announced its address" >&2; kill "$QS_PID" 2>/dev/null; exit 1; }
     curl -fsS "http://$ADDR/healthz" >/dev/null
     curl -fsS "http://$ADDR/metrics" | grep -q '^# TYPE snn_forward_passes_total counter$'
+    # Phase 1's campaign journals must be visible as rehydrated history,
+    # and the run's coverage curve must be monotone nondecreasing.
+    RUN_ID=$(basename "$(ls .ledger-smoke/campaign-*.jsonl | head -n 1)" .jsonl)
+    curl -fsS "http://$ADDR/runs" | grep -q "\"$RUN_ID\"" || { echo "verify.sh: rehydrated run $RUN_ID missing from /runs" >&2; kill "$QS_PID" 2>/dev/null; exit 1; }
+    # The endpoint pretty-prints; flatten to one line before parsing.
+    curl -fsS "http://$ADDR/runs/$RUN_ID/coverage" | tr -d ' \n\t' >/tmp/snntest-coverage.json
+    FINAL=$(sed -n 's/.*"detected":\([0-9][0-9]*\),"steps".*/\1/p' /tmp/snntest-coverage.json)
+    sed -n 's/.*"points":\[\([^]]*\)\].*/\1/p' /tmp/snntest-coverage.json | tr '{' '\n' |
+        sed -n 's/.*"detected":\([0-9][0-9]*\).*/\1/p' | awk -v final="$FINAL" '
+        NR > 1 && $1 < prev { print "coverage curve not monotone: " $1 " after " prev; exit 1 }
+        { prev = $1 }
+        END {
+            # A campaign that detected nothing legitimately has no curve
+            # points; otherwise the endpoint must equal detected/total.
+            if (NR == 0 && final != 0) { print "coverage curve empty with " final " detections"; exit 1 }
+            if (NR > 0 && prev != final) { print "curve endpoint " prev " != campaign detected " final; exit 1 }
+        }
+    ' || { echo "verify.sh: /runs/$RUN_ID/coverage failed the monotone gate" >&2; kill "$QS_PID" 2>/dev/null; exit 1; }
     wait "$QS_PID"
-    rm -f /tmp/snntest-quickstart /tmp/snntest-serve.log
+    rm -f /tmp/snntest-quickstart /tmp/snntest-serve.log /tmp/snntest-coverage.json
 else
     echo "verify.sh: curl not found; skipping the live-serve scrape gate" >&2
 fi
