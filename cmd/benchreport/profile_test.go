@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureLabeledProfile burns CPU under generate-taxonomy phase labels
+// and returns the written CPU profile path.
+func captureLabeledProfile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	burn := func(phase string, d time.Duration) {
+		ctx := pprof.WithLabels(context.Background(), pprof.Labels("phase", phase))
+		pprof.SetGoroutineLabels(ctx)
+		for deadline := time.Now().Add(d); time.Now().Before(deadline); {
+			for i := 0; i < 1_000_000; i++ {
+				sink += i * i
+			}
+		}
+		pprof.SetGoroutineLabels(context.Background())
+	}
+	burn("generate/restart", 250*time.Millisecond)
+	burn("generate/calibrate/candidate", 100*time.Millisecond)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	return path
+}
+
+// TestRunProfileMode runs the -profile analyzer end to end on a live
+// labelled capture: per-phase table on stdout, BENCH_profile.json on
+// disk, gates passing, and a second run reproducing the report
+// byte-identically (determinism is part of the acceptance contract).
+func TestRunProfileMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live CPU profile capture in -short mode")
+	}
+	prof := captureLabeledProfile(t)
+	out := filepath.Join(t.TempDir(), "BENCH_profile.json")
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-profile", prof, "-profile-out", out,
+		"-profile-min-labeled", "0.9", "-profile-kernel-min", "0.8",
+		"-profile-min-samples", "5",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s", err, stdout.String())
+	}
+	text := stdout.String()
+	if strings.Contains(text, "gates skipped") {
+		t.Skip("too few CPU samples collected to gate (profiling timer starved)")
+	}
+	for _, want := range []string{"generate/restart", "kernel share of generate", "profile report written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stdout missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art profileArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if !art.Checks.Pass || !art.Checks.Gated {
+		t.Errorf("checks did not pass: %+v", art.Checks)
+	}
+	if art.Report.LabeledFraction < 0.9 {
+		t.Errorf("labelled fraction %.3f < 0.9", art.Report.LabeledFraction)
+	}
+	if art.Checks.KernelFraction < 0.8 {
+		t.Errorf("kernel fraction %.3f < 0.8", art.Checks.KernelFraction)
+	}
+
+	// Determinism: same profile in, byte-identical table and artifact out.
+	var stdout2 bytes.Buffer
+	out2 := filepath.Join(t.TempDir(), "BENCH_profile2.json")
+	args2 := []string{
+		"-profile", prof, "-profile-out", out2,
+		"-profile-min-labeled", "0.9", "-profile-kernel-min", "0.8",
+		"-profile-min-samples", "5",
+	}
+	if err := run(args2, &stdout2, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(s, path string) string { return strings.ReplaceAll(s, path, "OUT") }
+	if norm(stdout.String(), out) != norm(stdout2.String(), out2) {
+		t.Error("re-running -profile on the same capture changed the table")
+	}
+	data2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-running -profile on the same capture changed the JSON artifact")
+	}
+}
+
+// TestRunProfileGateFailure feeds a profile with no phase labels and
+// checks the labelled-fraction gate trips.
+func TestRunProfileGateFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live CPU profile capture in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	for deadline := time.Now().Add(250 * time.Millisecond); time.Now().Before(deadline); {
+		for i := 0; i < 1_000_000; i++ {
+			sink += i * i
+		}
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+
+	var stdout, stderr bytes.Buffer
+	err = run([]string{
+		"-profile", path, "-profile-out", "",
+		"-profile-min-labeled", "0.95", "-profile-min-samples", "5",
+	}, &stdout, &stderr)
+	if strings.Contains(stdout.String(), "gates skipped") {
+		t.Skip("too few CPU samples collected to gate")
+	}
+	if err == nil || !strings.Contains(err.Error(), "labelled fraction") {
+		t.Fatalf("want labelled-fraction gate failure, got %v", err)
+	}
+}
+
+func TestRunProfileMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-profile", filepath.Join(t.TempDir(), "nope.pprof")}, &stdout, &stderr); err == nil {
+		t.Fatal("want error for missing profile file")
+	}
+}

@@ -8,7 +8,8 @@
 //	faultsim -bench shd [-scale tiny|small|full] [-stride N]
 //	         [-weights file.gob] [-extended] [-workers N] [-seed N] [-full]
 //	         [-v|-quiet] [-trace out.jsonl] [-serve :9090]
-//	         [-cpuprofile f] [-memprofile f]
+//	         [-ledger dir] [-stall-timeout D]
+//	         [-profile-dir dir] [-cpuprofile f] [-memprofile f]
 //
 // By default the campaign is incremental: each faulty simulation replays
 // the golden spike trace up to the fault's layer and re-simulates only

@@ -11,7 +11,8 @@
 //	           [-restarts K] [-tinmin N] [-stride N] [-workers N]
 //	           [-save-stimulus file.gob]
 //	           [-v|-quiet] [-trace out.jsonl] [-serve :9090]
-//	           [-cpuprofile f] [-memprofile f]
+//	           [-ledger dir] [-stall-timeout D]
+//	           [-profile-dir dir] [-cpuprofile f] [-memprofile f]
 //
 // -restarts K enables the deterministic multi-restart generation engine:
 // every iteration optimizes K independently seeded candidate chunks on a
@@ -21,7 +22,11 @@
 // -trace records the run's observability stream (span tree + counters) as
 // JSON lines and prints an end-of-run summary; -serve exposes the run
 // live over HTTP (/metrics, /runs, /debug/pprof); -v / -quiet tune the
-// stderr narration; -cpuprofile / -memprofile write pprof profiles.
+// stderr narration. -profile-dir writes phase-labelled
+// snntestgen.{cpu,heap}.pprof profiles (analyze with
+// `benchreport -profile`); -cpuprofile / -memprofile override the paths.
+// -stall-timeout (with -serve and -ledger) dumps goroutine snapshots of
+// flatlined runs into the ledger directory.
 // SIGINT/SIGTERM cancel generation gracefully — the partial stimulus is
 // still verified and the trace flushed.
 package main

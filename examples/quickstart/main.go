@@ -7,9 +7,11 @@
 // Pass -trace trace.jsonl to record the run's observability stream
 // (span tree + counters), -serve :9090 to watch the run live
 // (/metrics, /runs, /debug/pprof), -v / -quiet to tune narration, and
-// -cpuprofile / -memprofile to capture pprof profiles. SIGINT/SIGTERM
-// cancel the run gracefully: the partial result is reported and the
-// trace is flushed intact.
+// -profile-dir (or -cpuprofile / -memprofile) to capture phase-labelled
+// pprof profiles — `benchreport -profile` folds them by pipeline phase.
+// -stall-timeout with -serve and -ledger arms the stall watchdog.
+// SIGINT/SIGTERM cancel the run gracefully: the partial result is
+// reported and the trace is flushed intact.
 package main
 
 import (

@@ -120,6 +120,9 @@ func GenerateContext(ctx context.Context, net *snn.Network, cfg Config) (*Result
 			"layers":  len(net.Layers),
 			"seed":    cfg.Seed,
 		})
+		// Tag CPU samples from here down (including pool workers, which
+		// inherit goroutine labels at spawn) with this run's id.
+		ctx = obs.WithRunLabel(ctx, run)
 	}
 	if obs.On() {
 		obsGenIteration.Set(0)

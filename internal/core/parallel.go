@@ -21,6 +21,21 @@ var (
 	obsRestartHist     = obs.NewTimingHistogram("core_restart_optimize_seconds")
 )
 
+// Worker-pool resource telemetry, shared by name with the fault
+// campaign's pool (the obs registry is idempotent, so both packages feed
+// the same series): pool size and unclaimed-queue depth as live gauges,
+// total in-fn busy time as a counter, and per-pool utilization — busy
+// time over workers × wall time — as a percentage gauge written when the
+// pool drains. Utilization is the signal that finally explains a 0.97×
+// "speedup": a pool that is mostly idle is contended or starved, not
+// compute-bound.
+var (
+	obsWorkerPoolSize = obs.NewGauge("worker_pool_size_workers")
+	obsWorkerBusy     = obs.NewCounter("worker_busy_micros_total")
+	obsWorkerUtil     = obs.NewGauge("worker_utilization_percent")
+	obsRestartQueue   = obs.NewGauge("core_restart_queue_depth")
+)
+
 // runIndexed executes fn(0..n-1) on a pool of the given number of worker
 // goroutines and blocks until every index has been processed. Each fn call
 // must write only to its own index-addressed slot; the pool imposes no
@@ -42,6 +57,14 @@ func runIndexed(workers, n int, fn func(int)) {
 		}
 		return
 	}
+	on := obs.On()
+	var poolStart time.Time
+	var busyUS atomic.Int64
+	if on {
+		poolStart = time.Now()
+		obsWorkerPoolSize.Set(int64(workers))
+		obsRestartQueue.Set(int64(n))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -53,11 +76,31 @@ func runIndexed(workers, n int, fn func(int)) {
 				if i >= n {
 					return
 				}
+				if on {
+					if d := int64(n) - next.Load(); d > 0 {
+						obsRestartQueue.Set(d)
+					} else {
+						obsRestartQueue.Set(0)
+					}
+					t0 := time.Now()
+					fn(i)
+					busyUS.Add(time.Since(t0).Microseconds())
+					continue
+				}
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if on {
+		busy := busyUS.Load()
+		obsWorkerBusy.Add(busy)
+		if capacity := time.Since(poolStart).Microseconds() * int64(workers); capacity > 0 {
+			obsWorkerUtil.Set(busy * 100 / capacity)
+		}
+		obsWorkerPoolSize.Set(0)
+		obsRestartQueue.Set(0)
+	}
 }
 
 // restartOutcome is the result of one restart of the multi-restart stage-1

@@ -50,6 +50,17 @@ var (
 // done/total track the progress-reporter stride; detected/critical are
 // bumped per hit so coverage-so-far is exact; the inflight gauge pairs
 // Add(1)/Add(-1) around each worker's lifetime.
+// Worker-pool resource telemetry. The names match internal/core's pool
+// instrumentation on purpose — the obs registry is idempotent, so the
+// restart pool and the fault-campaign pool feed one shared series and
+// /metrics shows whichever pool ran last (pools never overlap: campaigns
+// and generation phases are sequential).
+var (
+	obsWorkerPoolSize = obs.NewGauge("worker_pool_size_workers")
+	obsWorkerBusy     = obs.NewCounter("worker_busy_micros_total")
+	obsWorkerUtil     = obs.NewGauge("worker_utilization_percent")
+)
+
 var (
 	obsCampaignInflight = obs.NewGauge("fault_campaign_inflight_workers")
 	obsCampaignDone     = obs.NewGauge("fault_campaign_done_faults")
@@ -119,18 +130,31 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 		}
 		return
 	}
+	on := obs.On()
+	var poolStart time.Time
+	var busyUS atomic.Int64
+	if on {
+		poolStart = time.Now()
+		obsWorkerPoolSize.Set(int64(workers))
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if obs.On() {
+			if on {
 				obsCampaignInflight.Add(1)
 				defer obsCampaignInflight.Add(-1)
 			}
 			inj := NewInjector(golden)
 			for i := range next {
+				if on {
+					t0 := time.Now()
+					fn(inj, i)
+					busyUS.Add(time.Since(t0).Microseconds())
+					continue
+				}
 				fn(inj, i)
 			}
 		}()
@@ -140,6 +164,14 @@ func parallelFaults(golden *snn.Network, n, workers int, fn func(inj *Injector, 
 	}
 	close(next)
 	wg.Wait()
+	if on {
+		busy := busyUS.Load()
+		obsWorkerBusy.Add(busy)
+		if capacity := time.Since(poolStart).Microseconds() * int64(workers); capacity > 0 {
+			obsWorkerUtil.Set(busy * 100 / capacity)
+		}
+		obsWorkerPoolSize.Set(0)
+	}
 }
 
 // progressSink receives campaign completion updates. The user callback
@@ -219,14 +251,15 @@ func (r *progressReporter) emit(done int) {
 	}
 }
 
-// span opens the campaign's obs span under the options' context.
-func (opts CampaignOptions) span(name string) *obs.Span {
+// span opens the campaign's obs span under the options' context and
+// returns the derived context so run-labelled profiling can compose with
+// it (see obs.WithRunLabel).
+func (opts CampaignOptions) span(name string) (context.Context, *obs.Span) {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	_, sp := obs.Start(ctx, name)
-	return sp
+	return obs.Start(ctx, name)
 }
 
 // Simulate runs the fault-simulation campaign: each fault is injected in
@@ -255,7 +288,7 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
-	sp := opts.span("campaign/simulate")
+	ctx, sp := opts.span("campaign/simulate")
 	defer sp.End()
 	sp.SetAttr("faults", len(faults))
 	goldenRec := golden.Run(stimulus)
@@ -272,6 +305,9 @@ func SimulateWith(golden *snn.Network, faults []Fault, stimulus *tensor.Tensor, 
 			"steps":  steps,
 			"layers": len(golden.Layers),
 		})
+		// Tag this goroutine's CPU samples with the run id; the fault
+		// workers spawned below inherit the goroutine label set.
+		ctx = obs.WithRunLabel(ctx, run)
 	}
 	rep := newProgressReporter(len(faults), 256, opts, "campaign/simulate", run)
 	if obs.On() {
@@ -389,7 +425,7 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 	if err := Validate(golden, faults); err != nil {
 		return nil, err
 	}
-	sp := opts.span("campaign/classify")
+	ctx, sp := opts.span("campaign/classify")
 	defer sp.End()
 	sp.SetAttr("faults", len(faults))
 	sp.SetAttr("samples", len(samples))
@@ -412,6 +448,9 @@ func ClassifyWith(golden *snn.Network, faults []Fault, samples []*tensor.Tensor,
 			"samples": len(samples),
 			"layers":  len(golden.Layers),
 		})
+		// Tag this goroutine's CPU samples with the run id; the fault
+		// workers spawned below inherit the goroutine label set.
+		ctx = obs.WithRunLabel(ctx, run)
 	}
 	rep := newProgressReporter(len(faults), 64, opts, "campaign/classify", run)
 	if obs.On() {

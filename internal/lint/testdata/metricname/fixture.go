@@ -21,6 +21,21 @@ var (
 	okLedgerErrors  = obs.NewCounter("ledger_write_errors_total")
 	okRunsTracked   = obs.NewGauge("telemetry_runs_tracked")
 
+	// The PR 10 runtime-telemetry and worker-pool names: runtime gauges
+	// are levels, so counts end _count (not the counter suffix _total),
+	// and the one true counter in the set keeps _total.
+	okRuntimeGoroutines = obs.NewGauge("runtime_goroutines_count")
+	okRuntimeHeapLive   = obs.NewGauge("runtime_heap_live_bytes")
+	okRuntimeGCCycles   = obs.NewGauge("runtime_gc_cycles_count")
+	okRuntimeGCPause    = obs.NewGauge("runtime_gc_pause_p50_micros")
+	okRuntimeSchedLat   = obs.NewGauge("runtime_sched_latency_p99_micros")
+	okWorkerPool        = obs.NewGauge("worker_pool_size_workers")
+	okWorkerUtil        = obs.NewGauge("worker_utilization_percent")
+	okWorkerBusy        = obs.NewCounter("worker_busy_micros_total")
+	okRestartQueue      = obs.NewGauge("core_restart_queue_depth")
+	okTornLines         = obs.NewCounter("ledger_torn_lines_total")
+	okStallSnapshots    = obs.NewCounter("telemetry_stall_snapshots_total")
+
 	badShapeCamel  = obs.NewCounter("fixtureEventsTotal")      // want "not subsystem_noun_unit"
 	badShapeDotted = obs.NewCounter("fixture.events_total")    // want "not subsystem_noun_unit"
 	badShapeSingle = obs.NewCounter("fixture")                 // want "not subsystem_noun_unit"

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -21,7 +22,9 @@ import (
 //	-trace FILE   JSONL span/counter trace
 //	-serve ADDR   live telemetry HTTP server (/metrics, /runs, pprof)
 //	-ledger DIR   per-run flight-recorder journals (JSONL per run)
-//	-cpuprofile FILE, -memprofile FILE
+//	-profile-dir DIR   phase-labelled cpu/heap pprof profiles, tool-named
+//	-stall-timeout D   stall watchdog deadline for -serve + -ledger runs
+//	-cpuprofile FILE, -memprofile FILE   (aliases of -profile-dir's pair)
 //
 // Register the flags on the binary's FlagSet, then call Start after
 // parsing; the returned stop function shuts the telemetry server down,
@@ -29,13 +32,24 @@ import (
 // snapshot, prints the end-of-run span tree and resets the global obs
 // state so repeated in-process runs (tests) stay hermetic.
 type CLI struct {
-	Verbose    bool
-	Quiet      bool
-	Trace      string
-	Serve      string
-	Ledger     string
+	Verbose bool
+	Quiet   bool
+	Trace   string
+	Serve   string
+	Ledger  string
+	// ProfileDir writes the unified profile pair — <tool>.cpu.pprof and
+	// <tool>.heap.pprof, named after the registered FlagSet so paths are
+	// stable across runs (no timestamps) and CI can upload them as
+	// artifacts. The legacy -cpuprofile/-memprofile flags remain as
+	// aliases; when both are given, the explicit file path wins.
+	ProfileDir string
 	CPUProfile string
 	MemProfile string
+	// Stall arms the telemetry server's stall watchdog: when a tracked
+	// run's progress flatlines for this long, a goroutine dump plus a
+	// runtime-metrics snapshot is written to the -ledger directory.
+	// Zero disables the watchdog; it requires -serve and -ledger.
+	Stall time.Duration
 	// ForceEnable turns the observability layer on even without -trace
 	// (counters accumulate; no trace sink). benchreport's -obs mode sets
 	// it so the run manifest's counter snapshot is populated.
@@ -43,17 +57,32 @@ type CLI struct {
 	// ServedAddr is the telemetry server's resolved listen address after
 	// Start when -serve was given (":0" resolves to an ephemeral port).
 	ServedAddr string
+	// tool is the FlagSet name captured by Register; it names the
+	// -profile-dir files.
+	tool string
 }
 
 // Register installs the shared flags on fs.
 func (c *CLI) Register(fs *flag.FlagSet) {
+	c.tool = fs.Name()
 	fs.BoolVar(&c.Verbose, "v", false, "verbose (debug-level) status logging")
 	fs.BoolVar(&c.Quiet, "quiet", false, "suppress status logging")
 	fs.StringVar(&c.Trace, "trace", "", "write a JSONL span/counter trace to this file")
 	fs.StringVar(&c.Serve, "serve", "", "serve live telemetry (/metrics, /healthz, /readyz, /runs, /debug/pprof) on this host:port for the run's duration")
 	fs.StringVar(&c.Ledger, "ledger", "", "append per-run flight-recorder journals (JSONL) under this directory")
-	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
-	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	fs.StringVar(&c.ProfileDir, "profile-dir", "", "write phase-labelled <tool>.cpu.pprof and <tool>.heap.pprof profiles under this directory")
+	fs.DurationVar(&c.Stall, "stall-timeout", 0, "with -serve and -ledger: snapshot a goroutine dump + runtime metrics to the ledger dir when run progress stalls this long (0 = off)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file (alias of -profile-dir's cpu half)")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file (alias of -profile-dir's heap half)")
+}
+
+// toolName returns the profile-file stem: the FlagSet name captured at
+// Register, or a neutral fallback for a CLI built without Register.
+func (c *CLI) toolName() string {
+	if c.tool == "" {
+		return "profile"
+	}
+	return c.tool
 }
 
 // ServeOptions configures the telemetry server started by -serve:
@@ -62,6 +91,8 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 type ServeOptions struct {
 	Addr      string
 	LedgerDir string
+	// Stall arms the stall watchdog (see CLI.Stall); zero leaves it off.
+	Stall time.Duration
 }
 
 // ServeHandle is a running telemetry server as seen by the CLI bundle:
@@ -125,7 +156,28 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 	if c.Verbose && c.Quiet {
 		return nil, nil, fmt.Errorf("obs: -v and -quiet are mutually exclusive")
 	}
+	if c.Stall < 0 {
+		return nil, nil, fmt.Errorf("obs: -stall-timeout must be non-negative")
+	}
+	if c.Stall > 0 && (c.Serve == "" || c.Ledger == "") {
+		return nil, nil, fmt.Errorf("obs: -stall-timeout needs both -serve (to watch run progress) and -ledger (to receive stall snapshots)")
+	}
 	log := NewLogger(stderr, c.Level())
+
+	// Resolve the unified -profile-dir into the legacy per-file paths;
+	// an explicit -cpuprofile/-memprofile wins over the derived name.
+	cpuPath, memPath := c.CPUProfile, c.MemProfile
+	if c.ProfileDir != "" {
+		if err := os.MkdirAll(c.ProfileDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("obs: -profile-dir: %w", err)
+		}
+		if cpuPath == "" {
+			cpuPath = filepath.Join(c.ProfileDir, c.toolName()+".cpu.pprof")
+		}
+		if memPath == "" {
+			memPath = filepath.Join(c.ProfileDir, c.toolName()+".heap.pprof")
+		}
+	}
 
 	var cleanups []func() error
 	stop := func() error {
@@ -155,7 +207,7 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 		}
 		traceFile, jsonl, rec = f, NewJSONLSink(f), &Recorder{}
 	}
-	if c.Trace != "" || c.Serve != "" || c.Ledger != "" || c.ForceEnable {
+	if c.Trace != "" || c.Serve != "" || c.Ledger != "" || cpuPath != "" || memPath != "" || c.ForceEnable {
 		if jsonl != nil {
 			SetSinks(jsonl, rec)
 		} else {
@@ -223,7 +275,7 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 		if serveHook == nil {
 			return fail(fmt.Errorf("obs: -serve needs the telemetry server linked in; import internal/obs/telemetry"))
 		}
-		h, err := serveHook(ServeOptions{Addr: c.Serve, LedgerDir: c.Ledger})
+		h, err := serveHook(ServeOptions{Addr: c.Serve, LedgerDir: c.Ledger, Stall: c.Stall})
 		if err != nil {
 			return fail(err)
 		}
@@ -236,8 +288,18 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 		})
 		log.Infof("telemetry server listening on http://%s (/metrics /healthz /readyz /runs /debug/pprof)", h.Addr)
 	}
-	if c.CPUProfile != "" {
-		f, err := os.Create(c.CPUProfile)
+	if cpuPath != "" || c.Serve != "" {
+		// Phase/run pprof labels cost one small allocation per span, so
+		// they are only maintained when a profile consumer exists: an
+		// on-disk CPU profile, or the server's /debug/pprof endpoints.
+		SetProfileLabels(true)
+		cleanups = append(cleanups, func() error {
+			SetProfileLabels(false)
+			return nil
+		})
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
 		if err != nil {
 			return fail(err)
 		}
@@ -245,17 +307,18 @@ func (c *CLI) Start(stderr io.Writer) (*Logger, func() error, error) {
 			_ = f.Close()
 			return fail(err)
 		}
+		path := cpuPath
 		cleanups = append(cleanups, func() error {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
 				return err
 			}
-			log.Infof("CPU profile written to %s", c.CPUProfile)
+			log.Infof("CPU profile written to %s", path)
 			return nil
 		})
 	}
-	if c.MemProfile != "" {
-		path := c.MemProfile
+	if memPath != "" {
+		path := memPath
 		cleanups = append(cleanups, func() error {
 			f, err := os.Create(path)
 			if err != nil {

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCLIStartTraceLifecycle runs the full CLI wiring: trace + profiles
@@ -82,6 +84,76 @@ func TestCLIStartTraceLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out, "obs_test.cli") {
 		t.Errorf("stderr missing counter table:\n%s", out)
+	}
+}
+
+// TestCLIStartProfileDir pins the unified -profile-dir contract: the
+// layer and pprof labelling come on, the cpu/heap pair lands at stable
+// tool-derived names (no timestamps), an explicit legacy flag overrides
+// its half of the pair, and stop restores the dark default.
+func TestCLIStartProfileDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles")
+	fs := flag.NewFlagSet("snntestgen", flag.ContinueOnError)
+	c := CLI{}
+	c.Register(fs)
+	if err := fs.Parse([]string{"-profile-dir", dir, "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	_, stop, err := c.Start(os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !On() {
+		t.Fatal("-profile-dir did not enable the layer")
+	}
+	if !ProfileLabelsOn() {
+		t.Fatal("-profile-dir did not turn pprof labelling on")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if On() || ProfileLabelsOn() {
+		t.Error("stop left the layer or labelling enabled")
+	}
+	for _, name := range []string{"snntestgen.cpu.pprof", "snntestgen.heap.pprof"} {
+		p := filepath.Join(dir, name)
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+
+	// Explicit legacy flag wins over the derived cpu name; the heap half
+	// still comes from the directory.
+	cpu := filepath.Join(dir, "explicit.pb")
+	c2 := CLI{Quiet: true, ProfileDir: dir, CPUProfile: cpu}
+	_, stop2, err := c2.Start(os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cpu); err != nil {
+		t.Errorf("-cpuprofile alias ignored under -profile-dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "profile.heap.pprof")); err != nil {
+		t.Errorf("unregistered CLI fallback heap name: %v", err)
+	}
+}
+
+// TestCLIStartStallValidation pins -stall-timeout's dependency on both
+// -serve and -ledger.
+func TestCLIStartStallValidation(t *testing.T) {
+	c := CLI{Stall: time.Second, Serve: ":0"}
+	if _, _, err := c.Start(os.Stderr); err == nil {
+		t.Fatal("want error for -stall-timeout without -ledger")
+	}
+	c = CLI{Stall: -time.Second}
+	if _, _, err := c.Start(os.Stderr); err == nil {
+		t.Fatal("want error for negative -stall-timeout")
 	}
 }
 

@@ -32,11 +32,14 @@ import (
 )
 
 // Ledger-layer counters: runs opened, entries appended, write failures
-// (journals are best-effort — a full disk must not abort a campaign).
+// (journals are best-effort — a full disk must not abort a campaign),
+// and torn lines skipped on the read path (the trace a SIGKILL'd writer
+// leaves; a nonzero count on a clean shutdown means something worse).
 var (
 	obsLedgerRuns        = obs.NewCounter("ledger_runs_total")
 	obsLedgerEntries     = obs.NewCounter("ledger_entries_total")
 	obsLedgerWriteErrors = obs.NewCounter("ledger_write_errors_total")
+	obsLedgerTornLines   = obs.NewCounter("ledger_torn_lines_total")
 )
 
 // init wires the package into the shared obs.CLI -ledger flag, the same

@@ -92,12 +92,16 @@ func TestJournalRoundTrip(t *testing.T) {
 	if len(runs) != 1 || runs[0] != run {
 		t.Fatalf("List = %v, want [%s]", runs, run)
 	}
+	tornBefore := obsLedgerTornLines.Value()
 	entries, err := ReadRun(dir, run)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 8 {
 		t.Fatalf("got %d entries, want 8 (start + 6 faults + end)", len(entries))
+	}
+	if got := obsLedgerTornLines.Value(); got != tornBefore {
+		t.Errorf("clean journal bumped ledger_torn_lines_total by %d", got-tornBefore)
 	}
 	if entries[0].Kind != "run_start" || entries[7].Kind != "run_end" {
 		t.Fatalf("lifecycle entries out of order: first %q last %q", entries[0].Kind, entries[7].Kind)
@@ -180,12 +184,16 @@ func TestTruncatedJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	before := obsLedgerTornLines.Value()
 	entries, err := ReadRun(dir, run)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 7 {
 		t.Fatalf("got %d entries, want 7 (torn run_end dropped)", len(entries))
+	}
+	if got := obsLedgerTornLines.Value() - before; got != 1 {
+		t.Errorf("ledger_torn_lines_total advanced by %d, want 1", got)
 	}
 	c := FromEntries(entries)
 	if c.Terminal {

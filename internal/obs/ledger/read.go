@@ -59,6 +59,9 @@ func ReadRun(dir, run string) ([]Entry, error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			// Torn or corrupt line — keep whatever parses after it too;
 			// entries are self-describing so a lost line costs one event.
+			// Counted so rehydration loss is visible in /metrics instead
+			// of silently shortening coverage curves.
+			obsLedgerTornLines.Add(1)
 			continue
 		}
 		out = append(out, e)
@@ -66,6 +69,7 @@ func ReadRun(dir, run string) ([]Entry, error) {
 	if err := sc.Err(); err != nil {
 		// An over-long (runaway) line aborts the scan; the valid prefix
 		// already collected is still the best available history.
+		obsLedgerTornLines.Add(1)
 		return out, nil
 	}
 	return out, nil

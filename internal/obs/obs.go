@@ -99,6 +99,9 @@ type Span struct {
 	parent uint64
 	start  time.Time // wall clock + monotonic (time.Now semantics)
 	attrs  map[string]any
+	// labelRestore is the pre-span label context when pprof profile
+	// labels are on (see profile.go); End reverts the goroutine to it.
+	labelRestore context.Context
 }
 
 // Start begins a span named name under the span carried by ctx, if any,
@@ -113,7 +116,11 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
 		sp.parent = parent.id
 	}
-	return context.WithValue(ctx, spanKey{}, sp), sp
+	ctx = context.WithValue(ctx, spanKey{}, sp)
+	if ProfileLabelsOn() {
+		ctx = attachPhaseLabel(ctx, sp)
+	}
+	return ctx, sp
 }
 
 // FromContext returns the span carried by ctx, or nil.
@@ -144,6 +151,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	restorePhaseLabel(s)
 	Emit(Event{
 		Kind:   KindSpan,
 		Name:   s.name,

@@ -160,6 +160,47 @@ func TestRunsStoreBounded(t *testing.T) {
 	}
 }
 
+// TestEvictedRunEndpoints404 pins the HTTP contract at the retention
+// boundary: once a run ages out of the bounded store, its endpoints
+// answer 404 — never a panic, never a stale curve from the previous
+// occupant of the slot.
+func TestEvictedRunEndpoints404(t *testing.T) {
+	s := New()
+	now := time.Now()
+	emitRun := func(run string) {
+		s.Sink().Emit(obs.Event{Kind: obs.KindRunStart, Run: run, Name: "campaign/simulate", Total: 1, Start: now})
+		s.Sink().Emit(obs.Event{Kind: obs.KindFault, Run: run, Name: "campaign/simulate",
+			Fault: &obs.FaultOutcome{Index: 0, Detected: true, DivStep: 0}, Start: now})
+		s.Sink().Emit(obs.Event{Kind: obs.KindRunEnd, Run: run, Done: 1, Total: 1, Start: now})
+	}
+	victim := "evictee-0000"
+	emitRun(victim)
+	// While still resident, the run serves its curve.
+	var curve ledger.Curve
+	if code := getJSON(t, s.Handler(), "/runs/"+victim+"/coverage", &curve); code != http.StatusOK {
+		t.Fatalf("resident run coverage status = %d", code)
+	}
+	if curve.Detected != 1 {
+		t.Fatalf("resident curve = %+v, want 1 detection", curve)
+	}
+	// Push the store past its cap so the victim ages out.
+	for i := 0; i < maxRuns; i++ {
+		emitRun(fmt.Sprintf("filler-%04d", i))
+	}
+	if _, ok := s.Sink().Run(victim); ok {
+		t.Fatal("victim run still resident after overflow; eviction broken")
+	}
+	for _, path := range []string{"/runs/" + victim + "/coverage", "/runs/" + victim + "/events"} {
+		if code := getJSON(t, s.Handler(), path, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d after eviction, want 404", path, code)
+		}
+	}
+	// The slot's new occupants still serve theirs.
+	if code := getJSON(t, s.Handler(), "/runs/filler-0000/coverage", &curve); code != http.StatusOK {
+		t.Errorf("surviving run coverage status = %d", code)
+	}
+}
+
 // TestRehydrateFromLedger pins the restart-survival acceptance
 // criterion: journals written by one process (including one whose
 // writer died mid-line) rehydrate into a fresh sink's /runs history.

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// Runtime resource gauges, refreshed by SampleRuntime on every /metrics
+// scrape (and by the stall watchdog before a snapshot). They surface the
+// runtime/metrics signals ROADMAP's perf items keep needing — is a slow
+// campaign GC-bound, scheduler-bound, or genuinely compute-bound — next
+// to the repo's own counters in one exposition. Pause and latency
+// distributions are folded to p50/p99/max in microseconds: the registry
+// is int64-valued and the tails are what stall diagnosis reads.
+var (
+	gaugeGoroutines  = obs.NewGauge("runtime_goroutines_count")
+	gaugeHeapLive    = obs.NewGauge("runtime_heap_live_bytes")
+	gaugeHeapGoal    = obs.NewGauge("runtime_heap_goal_bytes")
+	gaugeGCCycles    = obs.NewGauge("runtime_gc_cycles_count")
+	gaugeGCPauseP50  = obs.NewGauge("runtime_gc_pause_p50_micros")
+	gaugeGCPauseMax  = obs.NewGauge("runtime_gc_pause_max_micros")
+	gaugeSchedLatP50 = obs.NewGauge("runtime_sched_latency_p50_micros")
+	gaugeSchedLatP99 = obs.NewGauge("runtime_sched_latency_p99_micros")
+)
+
+// runtimeMetricNames are the runtime/metrics series we consume. Unknown
+// names read as KindBad and are skipped, so a toolchain that drops one
+// degrades to a zero gauge instead of failing the scrape.
+var runtimeMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/gc/heap/live:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntime reads the runtime/metrics snapshot and publishes it into
+// the obs gauge registry. Safe for concurrent use (each call reads into
+// its own sample buffer; gauge stores are atomic); called per scrape
+// rather than on a ticker so an idle server costs nothing.
+func SampleRuntime() {
+	samples := make([]metrics.Sample, len(runtimeMetricNames))
+	for i, name := range runtimeMetricNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				gaugeGoroutines.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/heap/live:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				gaugeHeapLive.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/heap/goal:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				gaugeHeapGoal.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				gaugeGCCycles.Set(clampInt64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				gaugeGCPauseP50.Set(secondsToMicros(histQuantile(h, 0.50)))
+				gaugeGCPauseMax.Set(secondsToMicros(histMax(h)))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				gaugeSchedLatP50.Set(secondsToMicros(histQuantile(h, 0.50)))
+				gaugeSchedLatP99.Set(secondsToMicros(histQuantile(h, 0.99)))
+			}
+		}
+	}
+}
+
+// clampInt64 narrows a runtime/metrics uint64 into the registry's int64
+// domain (heap sizes and counts never get near the boundary in
+// practice; the clamp keeps a pathological reading from going negative).
+func clampInt64(v uint64) int64 {
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// secondsToMicros converts a (possibly infinite) seconds value to whole
+// microseconds, saturating rather than overflowing.
+func secondsToMicros(sec float64) int64 {
+	if math.IsNaN(sec) || sec <= 0 {
+		return 0
+	}
+	us := sec * 1e6
+	if math.IsInf(us, +1) || us > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(us)
+}
+
+// histQuantile folds a runtime/metrics histogram to the value at
+// quantile q, using each selected bucket's upper edge (the conservative
+// read for a latency distribution). Infinite edges fall back to the
+// bucket's finite lower edge. Returns 0 for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			return bucketEdge(h, i)
+		}
+	}
+	return bucketEdge(h, len(h.Counts)-1)
+}
+
+// histMax returns the upper edge of the highest populated bucket, or 0
+// for an empty histogram.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return bucketEdge(h, i)
+		}
+	}
+	return 0
+}
+
+// bucketEdge picks a representative finite edge for bucket i: the upper
+// edge h.Buckets[i+1], falling back to the lower edge when the upper one
+// is +Inf (the runtime's catch-all tail bucket).
+func bucketEdge(h *metrics.Float64Histogram, i int) float64 {
+	upper := h.Buckets[i+1]
+	if !math.IsInf(upper, +1) {
+		return upper
+	}
+	lower := h.Buckets[i]
+	if math.IsInf(lower, -1) || lower < 0 {
+		return 0
+	}
+	return lower
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestSampleRuntimePopulatesGauges reads a live runtime snapshot and
+// checks the gauges land on physically plausible values — the process
+// running this test has goroutines, a live heap and (after an explicit
+// GC) at least one completed cycle.
+func TestSampleRuntimePopulatesGauges(t *testing.T) {
+	runtime.GC()
+	SampleRuntime()
+	if got := gaugeGoroutines.Value(); got < 1 {
+		t.Errorf("runtime_goroutines_count = %d, want >= 1", got)
+	}
+	if got := gaugeHeapLive.Value(); got <= 0 {
+		t.Errorf("runtime_heap_live_bytes = %d, want > 0", got)
+	}
+	if got := gaugeHeapGoal.Value(); got <= 0 {
+		t.Errorf("runtime_heap_goal_bytes = %d, want > 0", got)
+	}
+	if got := gaugeGCCycles.Value(); got < 1 {
+		t.Errorf("runtime_gc_cycles_count = %d, want >= 1 after runtime.GC", got)
+	}
+	if p50, max := gaugeGCPauseP50.Value(), gaugeGCPauseMax.Value(); p50 > max {
+		t.Errorf("gc pause p50 %d > max %d", p50, max)
+	}
+}
+
+// TestRuntimeGaugesExposed checks the sampled gauges render on the
+// Prometheus exposition alongside the repo's own metrics.
+func TestRuntimeGaugesExposed(t *testing.T) {
+	SampleRuntime()
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"runtime_goroutines_count",
+		"runtime_heap_live_bytes",
+		"runtime_heap_goal_bytes",
+		"runtime_gc_cycles_count",
+		"runtime_gc_pause_p50_micros",
+		"runtime_gc_pause_max_micros",
+		"runtime_sched_latency_p50_micros",
+		"runtime_sched_latency_p99_micros",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("/metrics exposition missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestHistQuantile pins the fold semantics on a hand-built histogram:
+// upper-edge selection, the +Inf tail falling back to its finite lower
+// edge, and zero for an empty distribution.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 9, 1},
+		Buckets: []float64{0, 1e-6, 1e-5, 1e-4, math.Inf(+1)},
+	}
+	if got := histQuantile(h, 0.50); got != 1e-5 {
+		t.Errorf("p50 = %g, want 1e-5", got)
+	}
+	if got := histQuantile(h, 0.99); got != 1e-4 {
+		t.Errorf("p99 = %g, want 1e-4", got)
+	}
+	if got := histQuantile(h, 1.0); got != 1e-4 {
+		t.Errorf("p100 = %g, want the +Inf bucket's lower edge 1e-4", got)
+	}
+	if got := histMax(h); got != 1e-4 {
+		t.Errorf("max = %g, want the +Inf bucket's lower edge 1e-4", got)
+	}
+
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty p50 = %g, want 0", got)
+	}
+	if got := histMax(empty); got != 0 {
+		t.Errorf("empty max = %g, want 0", got)
+	}
+
+	noTail := &metrics.Float64Histogram{Counts: []uint64{1, 3}, Buckets: []float64{0, 1, 2}}
+	if got := histMax(noTail); got != 2 {
+		t.Errorf("finite max = %g, want upper edge 2", got)
+	}
+}
+
+func TestSecondsToMicros(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{-1, 0},
+		{math.NaN(), 0},
+		{1e-6, 1},
+		{0.5, 500000},
+		{math.Inf(+1), math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := secondsToMicros(c.in); got != c.want {
+			t.Errorf("secondsToMicros(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/repro/snntest/internal/obs"
+)
+
+// progressAt feeds one progress event with an explicit timestamp into
+// the sink, the way live campaigns do.
+func progressAt(s *Sink, run, name string, done, total int, at time.Time) {
+	s.Emit(obs.Event{Kind: obs.KindProgress, Name: name, Run: run, Done: done, Total: total, Start: at})
+}
+
+// TestWatchdogSnapshotsStalledRun drives a sweep with a synthetic clock:
+// a run whose last update is past the deadline gets exactly one snapshot
+// per stall episode, terminal runs are ignored, and the snapshot file
+// carries the goroutine dump and run identity a post-mortem needs.
+func TestWatchdogSnapshotsStalledRun(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSink()
+	base := time.Now()
+	progressAt(s, "stalled-run-1", "campaign/simulate", 10, 100, base)
+	w := NewWatchdog(s, dir, time.Minute)
+
+	if got := w.sweep(base.Add(30 * time.Second)); got != 0 {
+		t.Fatalf("sweep before deadline wrote %d snapshots, want 0", got)
+	}
+	if got := w.sweep(base.Add(2 * time.Minute)); got != 1 {
+		t.Fatalf("sweep past deadline wrote %d snapshots, want 1", got)
+	}
+	// Same stall episode: no second dump.
+	if got := w.sweep(base.Add(3 * time.Minute)); got != 0 {
+		t.Fatalf("repeat sweep re-dumped the same episode (%d snapshots)", got)
+	}
+
+	path := filepath.Join(dir, "stall-stalled-run-1.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := string(data)
+	for _, want := range []string{
+		"stall snapshot for run stalled-run-1",
+		"phase: campaign/simulate",
+		"progress: 10/100",
+		"-- goroutine dump --",
+		"goroutine",
+		"runtime_goroutines_count",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+
+	// Progress resumes, then stalls again: a fresh episode re-dumps.
+	progressAt(s, "stalled-run-1", "campaign/simulate", 50, 100, base.Add(4*time.Minute))
+	if got := w.sweep(base.Add(10 * time.Minute)); got != 1 {
+		t.Fatalf("new stall episode wrote %d snapshots, want 1", got)
+	}
+
+	// A terminal run never stalls.
+	progressAt(s, "stalled-run-1", "campaign/simulate", 100, 100, base.Add(11*time.Minute))
+	if got := w.sweep(base.Add(time.Hour)); got != 0 {
+		t.Fatalf("terminal run was snapshotted (%d)", got)
+	}
+}
+
+// TestWatchdogStartStop exercises the real ticker loop end to end with a
+// short deadline, then checks Stop joins the goroutine.
+func TestWatchdogStartStop(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSink()
+	progressAt(s, "wedged", "campaign/classify", 1, 10, time.Now().Add(-time.Hour))
+	w := NewWatchdog(s, dir, 200*time.Millisecond)
+	w.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "stall-wedged.txt")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog loop never snapshotted the wedged run")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w.Stop()
+}

@@ -1,0 +1,136 @@
+package profparse
+
+import (
+	"sort"
+	"strings"
+)
+
+// PhaseStat is one phase's share of a profile. Flat is the value of
+// samples labelled with exactly this phase; Cum additionally includes
+// every descendant phase — span names are path-like ("generate/restart"
+// nests under "generate"), so cumulative attribution is a name-prefix
+// fold, no stack decoding required. Fractions are of the profile total
+// (labelled + unlabelled), so they are comparable across phases and the
+// labelled fractions sum to LabeledFraction.
+type PhaseStat struct {
+	Phase        string  `json:"phase"`
+	Samples      int64   `json:"samples"`
+	Flat         int64   `json:"flat_value"`
+	FlatFraction float64 `json:"flat_fraction"`
+	Cum          int64   `json:"cum_value"`
+	CumFraction  float64 `json:"cum_fraction"`
+}
+
+// PhaseReport is the phase-label fold of one profile — the data behind
+// benchreport's per-phase CPU table and the BENCH_profile.json artifact.
+// Phases are sorted by flat value descending (name ascending on ties),
+// so rendering the report is deterministic for a given profile.
+type PhaseReport struct {
+	SampleType      string      `json:"sample_type"`
+	SampleUnit      string      `json:"sample_unit"`
+	TotalSamples    int64       `json:"total_samples"`
+	TotalValue      int64       `json:"total_value"`
+	LabeledSamples  int64       `json:"labeled_samples"`
+	LabeledValue    int64       `json:"labeled_value"`
+	LabeledFraction float64     `json:"labeled_fraction"`
+	Phases          []PhaseStat `json:"phases"`
+}
+
+// FoldByPhase folds the profile's samples by their `phase` pprof label
+// on the value dimension named valueType ("cpu" for CPU profiles; an
+// absent dimension falls back to the last one, pprof's own default).
+// Ancestor phases that recorded no flat samples of their own still get
+// an entry when a descendant did, so Cum("generate") is always present
+// on a profile with generate/* activity.
+func FoldByPhase(p *Profile, valueType string) PhaseReport {
+	vi := p.ValueIndex(valueType)
+	if vi < 0 {
+		vi = len(p.SampleTypes) - 1
+	}
+	// The encoder merges samples with identical stacks and labels into
+	// one record whose "samples" dimension carries the tick count, so
+	// sample totals must be weighted by it — a record is not a tick.
+	ci := p.ValueIndex("samples")
+	r := PhaseReport{}
+	if vi >= 0 {
+		r.SampleType = p.SampleTypes[vi].Type
+		r.SampleUnit = p.SampleTypes[vi].Unit
+	}
+
+	flat := make(map[string]int64)
+	count := make(map[string]int64)
+	for _, s := range p.Samples {
+		var v int64
+		if vi >= 0 && vi < len(s.Values) {
+			v = s.Values[vi]
+		}
+		ticks := int64(1)
+		if ci >= 0 && ci < len(s.Values) {
+			ticks = s.Values[ci]
+		}
+		r.TotalSamples += ticks
+		r.TotalValue += v
+		phase, ok := s.Labels["phase"]
+		if !ok || phase == "" {
+			continue
+		}
+		r.LabeledSamples += ticks
+		r.LabeledValue += v
+		flat[phase] += v
+		count[phase] += ticks
+	}
+	if r.TotalValue > 0 {
+		r.LabeledFraction = float64(r.LabeledValue) / float64(r.TotalValue)
+	}
+
+	// Materialize ancestors so cumulative lookups on interior names work
+	// even when the parent span burned no CPU of its own.
+	for phase := range flat {
+		for i, c := range phase {
+			if c == '/' {
+				anc := phase[:i]
+				if _, ok := flat[anc]; !ok {
+					flat[anc] = 0
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(flat))
+	for phase := range flat {
+		names = append(names, phase)
+	}
+	sort.Strings(names)
+	for _, phase := range names {
+		st := PhaseStat{Phase: phase, Samples: count[phase], Flat: flat[phase]}
+		prefix := phase + "/"
+		for other, v := range flat {
+			if other == phase || strings.HasPrefix(other, prefix) {
+				st.Cum += v
+			}
+		}
+		if r.TotalValue > 0 {
+			st.FlatFraction = float64(st.Flat) / float64(r.TotalValue)
+			st.CumFraction = float64(st.Cum) / float64(r.TotalValue)
+		}
+		r.Phases = append(r.Phases, st)
+	}
+	sort.SliceStable(r.Phases, func(i, j int) bool {
+		if r.Phases[i].Flat != r.Phases[j].Flat {
+			return r.Phases[i].Flat > r.Phases[j].Flat
+		}
+		return r.Phases[i].Phase < r.Phases[j].Phase
+	})
+	return r
+}
+
+// CumValue returns the cumulative value attributed to phase (itself plus
+// every descendant), 0 when the phase never appears.
+func (r PhaseReport) CumValue(phase string) int64 {
+	for _, st := range r.Phases {
+		if st.Phase == phase {
+			return st.Cum
+		}
+	}
+	return 0
+}

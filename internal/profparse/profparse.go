@@ -1,0 +1,395 @@
+// Package profparse is a dependency-free reader for the pprof protobuf
+// profile format (profile.proto), decoding exactly the subset the repo's
+// phase-attribution tooling needs: sample types, per-sample values, and
+// the string/number labels runtime/pprof attaches to samples. Locations,
+// mappings and function tables are skipped — phase attribution folds on
+// labels, never on stack frames — which keeps the decoder at a few
+// hundred lines of plain varint walking instead of a protobuf
+// dependency (the repo is stdlib-only by policy, enforced by snnlint).
+//
+// The wire format is standard proto3: a Profile message whose fields of
+// interest are sample_type (1, ValueType), sample (2, Sample),
+// string_table (6), period_type (11), period (12) and duration_nanos
+// (10); Sample carries value (2, repeated int64) and label (3, Label);
+// Label carries key (1), str (2) and num (3), with key/str indexing the
+// string table. Profiles are usually gzip-wrapped; Parse sniffs the
+// magic and accepts both forms.
+package profparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ValueType describes one sample value dimension, e.g. {cpu, nanoseconds}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one profile sample: its per-dimension values and its pprof
+// labels (string-valued and number-valued kept separately, as in the
+// runtime). Maps are nil when the sample carries no labels of that kind.
+type Sample struct {
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is the decoded subset of one pprof protobuf.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	DurationNanos int64
+}
+
+// ValueIndex returns the index of the sample-value dimension with the
+// given type name, or -1. CPU profiles carry {samples,count} and
+// {cpu,nanoseconds}; callers fold on ValueIndex("cpu") and fall back to
+// the last dimension (the pprof default) when absent.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParseFile reads and decodes a pprof profile from disk.
+func ParseFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("profparse: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes a (possibly gzip-wrapped) pprof protobuf.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		data = raw
+	}
+
+	// First pass: decode raw messages, keeping string-table indices
+	// symbolic (the table may appear after its first use in the stream).
+	type rawValueType struct{ typ, unit int64 }
+	type rawLabel struct{ key, str, num int64 }
+	type rawSample struct {
+		values []int64
+		labels []rawLabel
+	}
+	var (
+		strtab      []string
+		sampleTypes []rawValueType
+		samples     []rawSample
+		periodType  rawValueType
+		p           Profile
+	)
+
+	parseValueType := func(msg []byte) (rawValueType, error) {
+		var vt rawValueType
+		err := walkFields(msg, func(field int, wire int, d *decoder) error {
+			switch field {
+			case 1:
+				v, err := d.varint()
+				vt.typ = int64(v)
+				return err
+			case 2:
+				v, err := d.varint()
+				vt.unit = int64(v)
+				return err
+			default:
+				return d.skip(wire)
+			}
+		})
+		return vt, err
+	}
+	parseLabel := func(msg []byte) (rawLabel, error) {
+		var l rawLabel
+		err := walkFields(msg, func(field int, wire int, d *decoder) error {
+			switch field {
+			case 1:
+				v, err := d.varint()
+				l.key = int64(v)
+				return err
+			case 2:
+				v, err := d.varint()
+				l.str = int64(v)
+				return err
+			case 3:
+				v, err := d.varint()
+				l.num = int64(v)
+				return err
+			default:
+				return d.skip(wire)
+			}
+		})
+		return l, err
+	}
+	parseSample := func(msg []byte) (rawSample, error) {
+		var s rawSample
+		err := walkFields(msg, func(field int, wire int, d *decoder) error {
+			switch field {
+			case 2: // value: repeated int64, packed or not
+				if wire == wireVarint {
+					v, err := d.varint()
+					s.values = append(s.values, int64(v))
+					return err
+				}
+				packed, err := d.lenDelim()
+				if err != nil {
+					return err
+				}
+				pd := &decoder{data: packed}
+				for !pd.done() {
+					v, err := pd.varint()
+					if err != nil {
+						return err
+					}
+					s.values = append(s.values, int64(v))
+				}
+				return nil
+			case 3: // label
+				msg, err := d.lenDelim()
+				if err != nil {
+					return err
+				}
+				l, err := parseLabel(msg)
+				if err != nil {
+					return err
+				}
+				s.labels = append(s.labels, l)
+				return nil
+			default:
+				return d.skip(wire)
+			}
+		})
+		return s, err
+	}
+
+	err := walkFields(data, func(field int, wire int, d *decoder) error {
+		switch field {
+		case 1: // sample_type
+			msg, err := d.lenDelim()
+			if err != nil {
+				return err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+			return nil
+		case 2: // sample
+			msg, err := d.lenDelim()
+			if err != nil {
+				return err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+			return nil
+		case 6: // string_table
+			b, err := d.lenDelim()
+			if err != nil {
+				return err
+			}
+			strtab = append(strtab, string(b))
+			return nil
+		case 10: // duration_nanos
+			v, err := d.varint()
+			p.DurationNanos = int64(v)
+			return err
+		case 11: // period_type
+			msg, err := d.lenDelim()
+			if err != nil {
+				return err
+			}
+			periodType, err = parseValueType(msg)
+			return err
+		case 12: // period
+			v, err := d.varint()
+			p.Period = int64(v)
+			return err
+		default:
+			return d.skip(wire)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Second pass: resolve string-table indices.
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strtab)) {
+			return "", fmt.Errorf("string table index %d out of range (table size %d)", i, len(strtab))
+		}
+		return strtab[i], nil
+	}
+	for _, vt := range sampleTypes {
+		t, err := str(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if periodType != (rawValueType{}) {
+		t, err := str(periodType.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(periodType.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	p.Samples = make([]Sample, 0, len(samples))
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, l := range rs.labels {
+			key, err := str(l.key)
+			if err != nil {
+				return nil, err
+			}
+			if l.str != 0 {
+				v, err := str(l.str)
+				if err != nil {
+					return nil, err
+				}
+				if s.Labels == nil {
+					s.Labels = make(map[string]string, 2)
+				}
+				s.Labels[key] = v
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = make(map[string]int64, 2)
+				}
+				s.NumLabels[key] = l.num
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return &p, nil
+}
+
+// Proto wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// decoder is a cursor over one proto message's bytes.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.data) }
+
+// varint decodes one base-128 varint.
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, fmt.Errorf("truncated varint at offset %d", d.pos)
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("varint overflow at offset %d", d.pos)
+}
+
+// lenDelim decodes one length-delimited field body.
+func (d *decoder) lenDelim() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("truncated length-delimited field (%d bytes wanted, %d left)", n, len(d.data)-d.pos)
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// skip consumes one field body of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFixed64:
+		if len(d.data)-d.pos < 8 {
+			return fmt.Errorf("truncated fixed64 at offset %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.lenDelim()
+		return err
+	case wireFixed32:
+		if len(d.data)-d.pos < 4 {
+			return fmt.Errorf("truncated fixed32 at offset %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("unsupported wire type %d at offset %d", wire, d.pos)
+	}
+}
+
+// walkFields iterates a message's fields, calling fn with each field
+// number and wire type; fn must consume the field body from the decoder
+// (or call skip).
+func walkFields(msg []byte, fn func(field, wire int, d *decoder) error) error {
+	d := &decoder{data: msg}
+	for !d.done() {
+		tag, err := d.varint()
+		if err != nil {
+			return err
+		}
+		field, wire := int(tag>>3), int(tag&7)
+		if field == 0 {
+			return fmt.Errorf("invalid field number 0 at offset %d", d.pos)
+		}
+		if err := fn(field, wire, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -50,6 +50,20 @@ go test -run 'TestSigintFlushesTrace' ./examples/quickstart/
 # ≥15% ratio regression exits nonzero and fails the gate. The -check
 # fixtures under cmd/benchreport/testdata pin both behaviours.
 go run ./cmd/benchreport -check
+# Profile attribution gate, two phases. Phase 1: a full tiny snntestgen
+# run with -profile-dir captures a phase-labelled CPU profile (and must
+# not perturb the pipeline — the dark-identity test above pins that).
+# Phase 2: benchreport -profile folds the capture by phase label and
+# gates it: ≥95% of CPU samples must carry a phase label, and ≥80% of
+# the generate subtree's CPU must sit inside the stepLayer/kernel
+# phases (restart growth, stage-2 extension, calibration) — CPU leaking
+# into bookkeeping spans fails the gate. Emits BENCH_profile.json.
+go build -o /tmp/snntest-gen ./cmd/snntestgen
+rm -rf .profile-smoke
+/tmp/snntest-gen -bench nmnist -scale tiny -profile-dir .profile-smoke -quiet
+go run ./cmd/benchreport -profile .profile-smoke/snntestgen.cpu.pprof \
+    -profile-out BENCH_profile.json -profile-min-labeled 0.95 -profile-kernel-min 0.80
+rm -f /tmp/snntest-gen
 # Live-serve + flight-recorder gate, two phases. Phase 1: a quickstart
 # run with -ledger journals its campaigns under .ledger-smoke. Phase 2:
 # a second process with -serve + the same -ledger rehydrates those
@@ -73,7 +87,14 @@ if command -v curl >/dev/null 2>&1; then
     done
     [ -n "$ADDR" ] || { echo "verify.sh: telemetry server never announced its address" >&2; kill "$QS_PID" 2>/dev/null; exit 1; }
     curl -fsS "http://$ADDR/healthz" >/dev/null
-    curl -fsS "http://$ADDR/metrics" | grep -q '^# TYPE snn_forward_passes_total counter$'
+    # Buffer the scrape before grepping: -q closing the pipe mid-body
+    # makes curl report a write error now that the runtime gauges have
+    # grown the exposition past one pipe buffer.
+    curl -fsS "http://$ADDR/metrics" >/tmp/snntest-metrics.txt
+    grep -q '^# TYPE snn_forward_passes_total counter$' /tmp/snntest-metrics.txt
+    # The per-scrape runtime sampler must populate its gauges live.
+    grep -q '^# TYPE runtime_goroutines_count gauge$' /tmp/snntest-metrics.txt
+    rm -f /tmp/snntest-metrics.txt
     # Phase 1's campaign journals must be visible as rehydrated history,
     # and the run's coverage curve must be monotone nondecreasing.
     RUN_ID=$(basename "$(ls .ledger-smoke/campaign-*.jsonl | head -n 1)" .jsonl)
